@@ -1,0 +1,121 @@
+// Command genomenet exercises the Internet-of-Genomes protocol (Section 4.5
+// of the paper): host mode publishes local datasets for crawlers; crawl mode
+// crawls a set of hosts, builds the index and answers one query.
+//
+// Usage:
+//
+//	genomenet host  -data DIR [-addr :8950]
+//	genomenet crawl -hosts URL1,URL2 [-bodies N] [-query TERM] [-ontological]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"genogo/internal/formats"
+	"genogo/internal/genomenet"
+	"genogo/internal/ontology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genomenet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("want a subcommand: host or crawl")
+	}
+	switch args[0] {
+	case "host":
+		handler, addr, err := setupHost(args[1:], out)
+		if err != nil {
+			return err
+		}
+		return http.ListenAndServe(addr, handler)
+	case "crawl":
+		return runCrawl(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// setupHost parses host-mode flags and builds the publishing handler
+// without binding a socket.
+func setupHost(args []string, out io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("host", flag.ContinueOnError)
+	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
+	addr := fs.String("addr", ":8950", "listen address")
+	name := fs.String("name", "host", "host name")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	h := genomenet.NewHost(*name)
+	entries, err := os.ReadDir(*dataDir)
+	if err != nil {
+		return nil, "", err
+	}
+	published := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(*dataDir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "schema.txt")); err != nil {
+			continue
+		}
+		ds, err := formats.ReadDataset(sub)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading %s: %w", sub, err)
+		}
+		h.Publish(ds, true)
+		fmt.Fprintf(out, "publishing %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
+		published++
+	}
+	if published == 0 {
+		return nil, "", fmt.Errorf("no datasets found under %s", *dataDir)
+	}
+	fmt.Fprintf(out, "host %s listening on %s\n", *name, *addr)
+	return h.Handler(), *addr, nil
+}
+
+func runCrawl(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
+	hosts := fs.String("hosts", "", "comma-separated host base URLs")
+	bodies := fs.Int("bodies", 0, "dataset bodies to cache per host")
+	query := fs.String("query", "", "search query to answer after crawling")
+	ontological := fs.Bool("ontological", false, "expand the query through the biomedical ontology")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *hosts == "" {
+		return fmt.Errorf("-hosts is required")
+	}
+	svc := genomenet.NewSearchService(ontology.Biomedical())
+	urls := strings.Split(*hosts, ",")
+	if err := svc.Crawl(urls, genomenet.CrawlOptions{FetchBodies: *bodies}, nil); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "crawled %d hosts, indexed %d datasets\n", len(urls), svc.NumIndexed())
+	if *query == "" {
+		return nil
+	}
+	hits := svc.Search(*query, *ontological)
+	fmt.Fprintf(out, "%d hits for %q (ontological=%v)\n", len(hits), *query, *ontological)
+	for _, h := range hits {
+		repo := " "
+		if h.InRepo {
+			repo = "*"
+		}
+		fmt.Fprintf(out, "  %s %s/%s sample=%s matched=%q download=%s\n",
+			repo, h.HostURL, h.Dataset, h.Sample, h.Matched, h.DataURL)
+	}
+	return nil
+}

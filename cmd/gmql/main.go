@@ -1,0 +1,177 @@
+// Command gmql runs GenoMetric Query Language scripts against a repository
+// of GDM datasets on disk.
+//
+// Usage:
+//
+//	gmql -data DIR [-out DIR] [-mode stream|batch|serial] [-workers N]
+//	     [-binwidth N] [-no-optimizer] [-explain VAR] SCRIPT.gmql
+//
+// Every subdirectory of -data holding a schema.txt is loaded as a dataset
+// named after the subdirectory. Results of MATERIALIZE statements are
+// written under -out in the native layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"genogo/internal/engine"
+	"genogo/internal/formats"
+	"genogo/internal/gdm"
+	"genogo/internal/gmql"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gmql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gmql", flag.ContinueOnError)
+	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
+	outDir := fs.String("out", "results", "directory for materialized results")
+	mode := fs.String("mode", "stream", "execution backend: serial, batch or stream")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	binWidth := fs.Int64("binwidth", 0, "genometric bin width (0 = per-chromosome sweeps)")
+	noOpt := fs.Bool("no-optimizer", false, "disable the logical optimizer")
+	explain := fs.String("explain", "", "print the plan of VAR instead of executing")
+	format := fs.String("format", "native", "result format: native (GDM layout) or bed (one BED6 file per sample)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one script file, have %d args", fs.NArg())
+	}
+	cfg, err := parseConfig(*mode, *workers, *binWidth)
+	if err != nil {
+		return err
+	}
+
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := gmql.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	catalog, err := loadCatalog(*dataDir)
+	if err != nil {
+		return err
+	}
+	runner := &gmql.Runner{Config: cfg, Catalog: catalog, DisableOptimizer: *noOpt}
+
+	if *explain != "" {
+		fmt.Fprintln(out, runner.Explain(prog, *explain))
+		return nil
+	}
+	start := time.Now()
+	results, err := runner.Materialize(prog)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		dir := filepath.Join(*outDir, r.Target)
+		switch *format {
+		case "native":
+			if err := formats.WriteDataset(dir, r.Dataset); err != nil {
+				return err
+			}
+		case "bed":
+			if err := writeBEDDataset(dir, r.Dataset); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		fmt.Fprintf(out, "%s: %d samples, %d regions -> %s\n",
+			r.Var, len(r.Dataset.Samples), r.Dataset.NumRegions(), dir)
+	}
+	fmt.Fprintf(out, "done in %v (%s backend, %d workers)\n",
+		time.Since(start).Round(time.Millisecond), cfg.Mode, cfg.Workers)
+	return nil
+}
+
+// writeBEDDataset exports a dataset as one BED6 file plus one .meta file per
+// sample — the interchange path for downstream tools (genome browsers,
+// bedtools) that do not read the native layout.
+func writeBEDDataset(dir string, ds *gdm.Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range ds.Samples {
+		f, err := os.Create(filepath.Join(dir, s.ID+".bed"))
+		if err != nil {
+			return err
+		}
+		if err := formats.WriteBED(f, s, ds.Schema); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		mf, err := os.Create(filepath.Join(dir, s.ID+".bed.meta"))
+		if err != nil {
+			return err
+		}
+		if err := formats.WriteMeta(mf, s.Meta); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseConfig(mode string, workers int, binWidth int64) (engine.Config, error) {
+	cfg := engine.DefaultConfig()
+	cfg.Workers = workers
+	cfg.BinWidth = binWidth
+	switch mode {
+	case "serial":
+		cfg.Mode = engine.ModeSerial
+	case "batch":
+		cfg.Mode = engine.ModeBatch
+	case "stream":
+		cfg.Mode = engine.ModeStream
+	default:
+		return cfg, fmt.Errorf("unknown mode %q", mode)
+	}
+	return cfg, nil
+}
+
+// loadCatalog reads every dataset subdirectory under dir.
+func loadCatalog(dir string) (engine.MapCatalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cat := engine.MapCatalog{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "schema.txt")); err != nil {
+			continue // not a dataset directory
+		}
+		ds, err := formats.ReadDataset(sub)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", sub, err)
+		}
+		cat[ds.Name] = ds
+	}
+	if len(cat) == 0 {
+		return nil, fmt.Errorf("no datasets found under %s", dir)
+	}
+	return cat, nil
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genogo/internal/formats"
+	"genogo/internal/synth"
+)
+
+// writeRepo materializes a small synthetic repository on disk.
+func writeRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	g := synth.New(3)
+	enc := g.Encode(synth.EncodeOptions{Samples: 12, MeanPeaks: 40})
+	anns := g.Annotations(g.Genes(50))
+	if err := formats.WriteDataset(filepath.Join(dir, "ENCODE"), enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := formats.WriteDataset(filepath.Join(dir, "ANNOTATIONS"), anns); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func writeScript(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "query.gmql")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliScript = `
+PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+MATERIALIZE RESULT INTO result;
+`
+
+// TestEndToEndDiskRoundTrip is the full-system integration test: synthetic
+// repository on disk -> CLI -> materialized results on disk -> reload.
+func TestEndToEndDiskRoundTrip(t *testing.T) {
+	data := writeRepo(t)
+	outDir := filepath.Join(t.TempDir(), "results")
+	script := writeScript(t, cliScript)
+	var out bytes.Buffer
+	if err := run([]string{"-data", data, "-out", outDir, script}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "RESULT:") {
+		t.Errorf("output = %q", out.String())
+	}
+	ds, err := formats.ReadDataset(filepath.Join(outDir, "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) == 0 || ds.NumRegions() == 0 {
+		t.Errorf("empty result: %s", ds)
+	}
+	if _, ok := ds.Schema.Index("peak_count"); !ok {
+		t.Errorf("schema = %s", ds.Schema)
+	}
+	// MAP cardinality law on disk: every sample carries all promoters.
+	proms := 50
+	for _, s := range ds.Samples {
+		if len(s.Regions) != proms {
+			t.Errorf("sample %s regions = %d, want %d", s.ID, len(s.Regions), proms)
+		}
+	}
+}
+
+func TestCLIModes(t *testing.T) {
+	data := writeRepo(t)
+	script := writeScript(t, cliScript)
+	var counts []int
+	for _, mode := range []string{"serial", "batch", "stream"} {
+		outDir := filepath.Join(t.TempDir(), mode)
+		var out bytes.Buffer
+		if err := run([]string{"-data", data, "-out", outDir, "-mode", mode, script}, &out); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		ds, err := formats.ReadDataset(filepath.Join(outDir, "result"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, ds.NumRegions())
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("modes disagree on disk: %v", counts)
+	}
+}
+
+func TestCLIExplain(t *testing.T) {
+	data := writeRepo(t)
+	script := writeScript(t, cliScript)
+	var out bytes.Buffer
+	if err := run([]string{"-data", data, "-explain", "RESULT", script}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"MAP", "SELECT", "SCAN ENCODE"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("explain missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	data := writeRepo(t)
+	script := writeScript(t, cliScript)
+	var out bytes.Buffer
+	cases := [][]string{
+		{},                           // no script
+		{"-mode", "quantum", script}, // bad mode
+		{"-data", filepath.Join(t.TempDir(), "empty"), script},   // no datasets
+		{"-data", data, filepath.Join(t.TempDir(), "nope.gmql")}, // missing script
+	}
+	// An empty-but-existing data dir.
+	empty := filepath.Join(t.TempDir(), "empty2")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, []string{"-data", empty, script})
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+	// Bad script contents.
+	bad := writeScript(t, "X = FROB() Y;")
+	if err := run([]string{"-data", data, bad}, &out); err == nil {
+		t.Error("bad script accepted")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig("batch", 7, 1000)
+	if err != nil || cfg.Workers != 7 || cfg.BinWidth != 1000 {
+		t.Errorf("cfg = %+v, %v", cfg, err)
+	}
+	if _, err := parseConfig("nope", 0, 0); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestCLIBEDExport(t *testing.T) {
+	data := writeRepo(t)
+	outDir := filepath.Join(t.TempDir(), "bedout")
+	script := writeScript(t, `X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X INTO x;`)
+	var out bytes.Buffer
+	if err := run([]string{"-data", data, "-out", outDir, "-format", "bed", script}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(outDir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beds, metas := 0, 0
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".bed.meta"):
+			metas++
+		case strings.HasSuffix(e.Name(), ".bed"):
+			beds++
+		}
+	}
+	if beds == 0 || beds != metas {
+		t.Fatalf("beds=%d metas=%d", beds, metas)
+	}
+	// The exported BED round-trips through the importer.
+	var bedFile string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".bed") && !strings.HasSuffix(e.Name(), ".meta") {
+			bedFile = filepath.Join(outDir, "x", e.Name())
+			break
+		}
+	}
+	s, _, err := formats.ImportSample(bedFile, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Regions) == 0 {
+		t.Error("exported BED empty")
+	}
+	if !s.Meta.Has("dataType") {
+		t.Error("sidecar metadata not exported")
+	}
+	// Unknown format rejected.
+	if err := run([]string{"-data", data, "-format", "tsv", script}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command gmqld serves a federation node (Section 4.4 of the paper): it
+// owns the datasets under its data directory and answers the federated
+// protocol — dataset information, query compilation with result size
+// estimates, remote execution, and staged result retrieval.
+//
+// Usage:
+//
+//	gmqld -data DIR [-addr :8844] [-name node1] [-mode stream]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"genogo/internal/engine"
+	"genogo/internal/federation"
+	"genogo/internal/formats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gmqld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	handler, addr, err := setup(args, os.Stdout)
+	if err != nil {
+		return err
+	}
+	return http.ListenAndServe(addr, handler)
+}
+
+// setup parses flags and builds the node handler without binding a socket,
+// so tests can drive it through httptest.
+func setup(args []string, out io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("gmqld", flag.ContinueOnError)
+	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
+	addr := fs.String("addr", ":8844", "listen address")
+	name := fs.String("name", "node", "node name")
+	mode := fs.String("mode", "stream", "execution backend: serial, batch or stream")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	cfg := engine.DefaultConfig()
+	switch *mode {
+	case "serial":
+		cfg.Mode = engine.ModeSerial
+	case "batch":
+		cfg.Mode = engine.ModeBatch
+	case "stream":
+		cfg.Mode = engine.ModeStream
+	default:
+		return nil, "", fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	srv := federation.NewServer(*name, cfg)
+	entries, err := os.ReadDir(*dataDir)
+	if err != nil {
+		return nil, "", err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(*dataDir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "schema.txt")); err != nil {
+			continue
+		}
+		ds, err := formats.ReadDataset(sub)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading %s: %w", sub, err)
+		}
+		srv.AddDataset(ds)
+		fmt.Fprintf(out, "serving %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
+		loaded++
+	}
+	if loaded == 0 {
+		return nil, "", fmt.Errorf("no datasets found under %s", *dataDir)
+	}
+	fmt.Fprintf(out, "node %s listening on %s (%s backend)\n", *name, *addr, cfg.Mode)
+	return srv.Handler(), *addr, nil
+}

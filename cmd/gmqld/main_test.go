@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genogo/internal/federation"
+	"genogo/internal/formats"
+	"genogo/internal/synth"
+)
+
+func writeRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	g := synth.New(5)
+	if err := formats.WriteDataset(filepath.Join(dir, "ENCODE"),
+		g.Encode(synth.EncodeOptions{Samples: 6, MeanPeaks: 20})); err != nil {
+		t.Fatal(err)
+	}
+	if err := formats.WriteDataset(filepath.Join(dir, "ANNOTATIONS"),
+		g.Annotations(g.Genes(20))); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSetupServesFederationProtocol(t *testing.T) {
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	handler, addr, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":9999" {
+		t.Errorf("addr = %q", addr)
+	}
+	if !strings.Contains(out.String(), "serving ENCODE") {
+		t.Errorf("output = %q", out.String())
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	c := federation.NewClient(ts.URL)
+	infos, err := c.ListDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("datasets = %d", len(infos))
+	}
+	qr, err := c.Execute(`X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X;`, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.FetchAll(qr.ResultID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != qr.Samples {
+		t.Errorf("fetched %d samples, staged %d", len(ds.Samples), qr.Samples)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
+		t.Error("empty data dir accepted")
+	}
+	if _, _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package genogo is a from-scratch Go reproduction of "Data Management for
+// Next Generation Genomic Computing" (Ceri, Kaitoua, Masseroli, Pinoli,
+// Venco — EDBT 2016): the Genomic Data Model (GDM), the GenoMetric Query
+// Language (GMQL) with serial/batch/stream execution backends, format
+// interoperability, ontology-mediated metadata search, federated query
+// processing, and the Internet-of-Genomes publishing/crawling/search
+// protocol.
+//
+// The implementation lives under internal/; runnable entry points are the
+// commands under cmd/ and the programs under examples/. The benchmarks in
+// bench_test.go regenerate every quantitative claim of the paper (see
+// EXPERIMENTS.md).
+package genogo

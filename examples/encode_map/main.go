@@ -1,0 +1,90 @@
+// encode_map reproduces the paper's Section 2 headline query at synthetic
+// scale and extrapolates its cardinalities to the paper's reported numbers
+// (2,423 ENCODE samples, 83,899,526 peaks, 131,780 promoters, 29 GB
+// result):
+//
+//	PROMS  = SELECT(annType == 'promoter') ANNOTATIONS;
+//	PEAKS  = SELECT(dataType == 'ChipSeq') ENCODE;
+//	RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"genogo/internal/engine"
+	"genogo/internal/gmql"
+	"genogo/internal/synth"
+)
+
+// The paper's reported scale.
+const (
+	paperSamples   = 2423
+	paperPeaks     = 83899526
+	paperPromoters = 131780
+	paperResultGB  = 29.0
+)
+
+const script = `
+PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+MATERIALIZE RESULT INTO result;
+`
+
+func main() {
+	samples := flag.Int("samples", 120, "ENCODE samples to generate")
+	meanPeaks := flag.Int("peaks", 600, "peak count scale per sample")
+	promoters := flag.Int("promoters", 2000, "promoter count")
+	flag.Parse()
+
+	g := synth.New(2016)
+	encode := g.Encode(synth.EncodeOptions{Samples: *samples, MeanPeaks: *meanPeaks})
+	annotations := g.Annotations(g.Genes(*promoters))
+	catalog := engine.MapCatalog{"ENCODE": encode, "ANNOTATIONS": annotations}
+
+	prog, err := gmql.Parse(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := gmql.NewRunner(catalog)
+	start := time.Now()
+	results, err := runner.Materialize(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ds := results[0].Dataset
+
+	chipSamples, totalPeaks := 0, 0
+	for _, s := range encode.Samples {
+		if s.Meta.Matches("dataType", "ChipSeq") {
+			chipSamples++
+			totalPeaks += len(s.Regions)
+		}
+	}
+	mappedRegions := ds.NumRegions()
+	bytes := ds.EstimateBytes()
+
+	fmt.Println("=== Section 2 headline query, synthetic scale ===")
+	fmt.Printf("ChipSeq samples selected: %d\n", chipSamples)
+	fmt.Printf("peaks mapped:             %d\n", totalPeaks)
+	fmt.Printf("promoters:                %d\n", *promoters)
+	fmt.Printf("result samples:           %d (one per ChipSeq sample)\n", len(ds.Samples))
+	fmt.Printf("result regions:           %d (= samples x promoters: %v)\n",
+		mappedRegions, mappedRegions == len(ds.Samples)**promoters)
+	fmt.Printf("result size:              %.2f MB in %v\n", float64(bytes)/1e6, elapsed.Round(time.Millisecond))
+
+	// Linear extrapolation to the paper's scale: the MAP cardinality law
+	// makes the result size samples x promoters x bytes-per-row.
+	bytesPerRow := float64(bytes) / float64(mappedRegions)
+	projected := bytesPerRow * float64(paperSamples) * float64(paperPromoters)
+	fmt.Println("\n=== Extrapolation to the paper's reported scale ===")
+	fmt.Printf("paper: %d samples, %d peaks, %d promoters -> %.0f GB\n",
+		paperSamples, paperPeaks, paperPromoters, paperResultGB)
+	fmt.Printf("ours:  %.1f bytes/result row -> projected %.1f GB at paper scale\n",
+		bytesPerRow, projected/1e9)
+	fmt.Printf("ratio vs paper's 29 GB: %.2fx\n", projected/1e9/paperResultGB)
+}

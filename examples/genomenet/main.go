@@ -1,0 +1,81 @@
+// genomenet demonstrates Section 4.5, the Internet of Genomes: research
+// centers publish links to their experimental data with metadata; a
+// third-party search service crawls the public links, indexes the metadata,
+// caches some dataset bodies, answers keyword and ontological queries with
+// snippets, and ranks datasets by computed region features.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"genogo/internal/gdm"
+	"genogo/internal/genomenet"
+	"genogo/internal/ontology"
+	"genogo/internal/synth"
+)
+
+func main() {
+	// Three labs publish their data; one dataset stays private (the paper:
+	// links may be public, i.e. visible to crawler visits, or not).
+	var urls []string
+	for i := 0; i < 3; i++ {
+		g := synth.New(int64(200 + i))
+		h := genomenet.NewHost(fmt.Sprintf("lab%d", i+1))
+		pub := g.Encode(synth.EncodeOptions{Samples: 10, MeanPeaks: 100})
+		pub.Name = fmt.Sprintf("LAB%d_CHIP", i+1)
+		h.Publish(pub, true)
+		anns := g.Annotations(g.Genes(50))
+		anns.Name = fmt.Sprintf("LAB%d_ANNS", i+1)
+		h.Publish(anns, true)
+		secret := g.Encode(synth.EncodeOptions{Samples: 2, MeanPeaks: 10})
+		secret.Name = fmt.Sprintf("LAB%d_UNPUBLISHED", i+1)
+		h.Publish(secret, false)
+		ts := httptest.NewServer(h.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+
+	// The third-party search service crawls everything public.
+	svc := genomenet.NewSearchService(ontology.Biomedical())
+	if err := svc.Crawl(urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== Crawl ===\nvisited %d hosts, indexed %d public datasets (private links unseen)\n",
+		len(urls), svc.NumIndexed())
+
+	// Keyword and ontological search with snippets.
+	for _, q := range []struct {
+		term string
+		onto bool
+	}{{"CTCF", false}, {"cancer", true}} {
+		hits := svc.Search(q.term, q.onto)
+		fmt.Printf("\n=== Search %q (ontological=%v): %d hits ===\n", q.term, q.onto, len(hits))
+		for i, h := range hits {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(hits)-5)
+				break
+			}
+			repo := "remote"
+			if h.InRepo {
+				repo = "in-repo"
+			}
+			fmt.Printf("  [%s] %s sample=%s matched=%q\n", repo, h.Dataset, h.Sample, h.Matched)
+		}
+	}
+
+	// Feature-based region search: rank cached datasets by computed overlap
+	// with the user's regions of interest.
+	query := gdm.NewSample("interest")
+	query.AddRegion(gdm.NewRegion("chr1", 0, 2_400_000, gdm.StrandNone))
+	query.AddRegion(gdm.NewRegion("chr2", 0, 1_000_000, gdm.StrandNone))
+	ranked, err := svc.RegionSearch(query, genomenet.FeatureOverlapCount, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Feature-based region search (overlap count, computed on demand) ===")
+	for _, r := range ranked {
+		fmt.Printf("  %-14s score %.0f (%s)\n", r.Dataset, r.Score, r.HostURL)
+	}
+}

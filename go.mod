@@ -1,0 +1,3 @@
+module genogo
+
+go 1.22

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+	"genogo/internal/intervals"
+)
+
+// CoverBoundKind distinguishes numeric accumulation bounds from the GMQL
+// keywords ANY and ALL.
+type CoverBoundKind uint8
+
+// Accumulation bound kinds.
+const (
+	// BoundN is a literal accumulation count.
+	BoundN CoverBoundKind = iota
+	// BoundAny means "at least one" as a minimum and "no limit" as a maximum.
+	BoundAny
+	// BoundAll means the number of samples in the group.
+	BoundAll
+)
+
+// CoverBound is one accumulation bound of COVER(minAcc, maxAcc).
+type CoverBound struct {
+	Kind CoverBoundKind
+	N    int64
+}
+
+// String renders the bound in GMQL surface syntax.
+func (b CoverBound) String() string {
+	switch b.Kind {
+	case BoundAny:
+		return "ANY"
+	case BoundAll:
+		return "ALL"
+	default:
+		return strconv.FormatInt(b.N, 10)
+	}
+}
+
+// resolve turns the bound into a concrete depth for a group of n samples.
+func (b CoverBound) resolve(n int, isMin bool) int64 {
+	switch b.Kind {
+	case BoundAny:
+		if isMin {
+			return 1
+		}
+		return math.MaxInt64
+	case BoundAll:
+		return int64(n)
+	default:
+		return b.N
+	}
+}
+
+// CoverVariant selects the COVER flavor.
+type CoverVariant uint8
+
+// COVER variants.
+const (
+	// CoverStandard merges contiguous qualifying segments into regions.
+	CoverStandard CoverVariant = iota
+	// CoverFlat extends each qualifying run to the full extent of the
+	// original regions contributing to it.
+	CoverFlat
+	// CoverSummit emits the local depth maxima inside each qualifying run.
+	CoverSummit
+	// CoverHistogram emits every constant-depth qualifying segment.
+	CoverHistogram
+)
+
+// String renders the GMQL keyword.
+func (v CoverVariant) String() string {
+	switch v {
+	case CoverStandard:
+		return "COVER"
+	case CoverFlat:
+		return "FLAT"
+	case CoverSummit:
+		return "SUMMIT"
+	case CoverHistogram:
+		return "HISTOGRAM"
+	default:
+		return fmt.Sprintf("COVER(%d)", uint8(v))
+	}
+}
+
+// CoverArgs parametrizes COVER.
+type CoverArgs struct {
+	Min, Max CoverBound
+	Variant  CoverVariant
+	// GroupBy partitions the samples by metadata attributes; COVER runs
+	// independently in each group (GMQL "groupby" clause; replicas of the
+	// same experiment are the motivating case in the paper). Empty treats
+	// the whole dataset as one group.
+	GroupBy []string
+	// Aggs computes aggregates over the input regions intersecting each
+	// output region (e.g. "avg_signal AS AVG(signal)"), appended to the
+	// acc_index attribute.
+	Aggs []expr.Aggregate
+}
+
+// CoverSchema is the output schema of every COVER variant: the accumulation
+// index (maximum overlap depth inside the emitted region).
+var CoverSchema = gdm.MustSchema(gdm.Field{Name: "acc_index", Type: gdm.KindInt})
+
+// Cover implements GMQL COVER and its FLAT/SUMMIT/HISTOGRAM variants. It
+// computes, per sample group and chromosome, the accumulation profile of all
+// regions and emits the maximal runs whose depth lies within [min, max].
+// Output regions are unstranded; one output sample is produced per group,
+// with the union of the group's metadata. Optional aggregates are computed
+// over the input regions intersecting each output region.
+func Cover(cfg Config, ds *gdm.Dataset, args CoverArgs) (*gdm.Dataset, error) {
+	aggIdx := make([]int, len(args.Aggs))
+	fields := CoverSchema.Fields()
+	for i, a := range args.Aggs {
+		in := gdm.KindNull
+		if a.Func.NeedsAttr() {
+			j, ok := ds.Schema.Index(a.Attr)
+			if !ok {
+				return nil, fmt.Errorf("cover: unknown attribute %q in schema %s", a.Attr, ds.Schema)
+			}
+			aggIdx[i] = j
+			in = ds.Schema.Field(j).Type
+		} else {
+			aggIdx[i] = -1
+		}
+		fields = append(fields, gdm.Field{Name: a.Output, Type: a.Func.ResultKind(in)})
+	}
+	outSchema, err := gdm.NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("cover: %w", err)
+	}
+
+	groups := make(map[string][]*gdm.Sample)
+	var order []string
+	for _, s := range ds.Samples {
+		k := groupKey(s.Meta, args.GroupBy)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+	sort.Strings(order)
+	out := gdm.NewDataset(ds.Name, outSchema)
+	outSamples := make([]*gdm.Sample, len(order))
+
+	// Tasks span (group, chromosome): COVER of a single group still uses
+	// every worker, one chromosome each, mirroring the genomic partitioning
+	// of the distributed implementations.
+	type task struct {
+		group int
+		chrom string
+		out   []gdm.Region
+	}
+	tasks := make([]*task, 0, len(order))
+	taskIdx := make([][]int, len(order))
+	minAccs := make([]int64, len(order))
+	maxAccs := make([]int64, len(order))
+	for gi, k := range order {
+		members := groups[k]
+		minAccs[gi] = args.Min.resolve(len(members), true)
+		maxAccs[gi] = args.Max.resolve(len(members), false)
+		chromSet := make(map[string]bool)
+		var chroms []string
+		for _, m := range members {
+			for _, c := range m.Chroms() {
+				if !chromSet[c] {
+					chromSet[c] = true
+					chroms = append(chroms, c)
+				}
+			}
+		}
+		sort.Slice(chroms, func(i, j int) bool { return gdm.CompareChrom(chroms[i], chroms[j]) < 0 })
+		for _, c := range chroms {
+			taskIdx[gi] = append(taskIdx[gi], len(tasks))
+			tasks = append(tasks, &task{group: gi, chrom: c})
+		}
+	}
+	cfg.forEach(len(tasks), func(ti int) {
+		tk := tasks[ti]
+		members := groups[order[tk.group]]
+		// entries index into sources so aggregates can read the
+		// contributing regions' attribute values.
+		var entries []intervals.Entry
+		var sources []*gdm.Region
+		for _, m := range members {
+			lo, hi := m.ChromRange(tk.chrom)
+			for i := lo; i < hi; i++ {
+				r := &m.Regions[i]
+				entries = append(entries, intervals.Entry{
+					Start: r.Start, Stop: r.Stop, Payload: int32(len(sources))})
+				sources = append(sources, r)
+			}
+		}
+		intervals.SortEntries(entries)
+		segs := intervals.Coverage(entries)
+		regs := coverRegions(segs, entries, minAccs[tk.group], maxAccs[tk.group], args.Variant)
+		if len(args.Aggs) > 0 {
+			appendCoverAggs(regs, entries, sources, args.Aggs, aggIdx)
+		}
+		for i := range regs {
+			regs[i].Chrom = tk.chrom
+		}
+		tk.out = regs
+	})
+	cfg.forEach(len(order), func(gi int) {
+		members := groups[order[gi]]
+		ids := make([]string, len(members))
+		for i, m := range members {
+			ids[i] = m.ID
+		}
+		ns := gdm.NewSample(gdm.DeriveID("cover", ids...))
+		for _, m := range members {
+			m.Meta.MergeInto(ns.Meta, "")
+		}
+		ns.Meta.Set("_cover", fmt.Sprintf("%s(%s,%s)", args.Variant, args.Min, args.Max))
+		for _, ti := range taskIdx[gi] {
+			ns.Regions = append(ns.Regions, tasks[ti].out...)
+		}
+		ns.SortRegions()
+		outSamples[gi] = ns
+	})
+	out.Samples = outSamples
+	return out, nil
+}
+
+// appendCoverAggs extends each output region's values with aggregates over
+// the input regions intersecting it. Output regions are sorted and disjoint
+// (except FLAT, which may overlap after extension), so a fresh sweep per
+// output region set is linear in practice.
+func appendCoverAggs(regs []gdm.Region, entries []intervals.Entry, sources []*gdm.Region,
+	aggs []expr.Aggregate, aggIdx []int) {
+	outEntries := make([]intervals.Entry, len(regs))
+	for i, r := range regs {
+		outEntries[i] = intervals.Entry{Start: r.Start, Stop: r.Stop, Payload: int32(i)}
+	}
+	intervals.SortEntries(outEntries)
+	accs := make([][]*expr.Accumulator, len(regs))
+	for i := range accs {
+		row := make([]*expr.Accumulator, len(aggs))
+		for ai := range aggs {
+			row[ai] = expr.NewAccumulator(aggs[ai].Func)
+		}
+		accs[i] = row
+	}
+	intervals.SweepOverlaps(outEntries, entries, func(o, e intervals.Entry) bool {
+		src := sources[e.Payload]
+		for ai := range aggs {
+			if aggIdx[ai] < 0 {
+				accs[o.Payload][ai].Add(gdm.Null())
+			} else {
+				accs[o.Payload][ai].Add(src.Values[aggIdx[ai]])
+			}
+		}
+		return true
+	})
+	for i := range regs {
+		for ai := range aggs {
+			regs[i].Values = append(regs[i].Values, accs[i][ai].Result())
+		}
+	}
+}
+
+// coverRegions turns one chromosome's coverage profile into output regions
+// according to the variant. Chrom is filled in by the caller.
+func coverRegions(segs []intervals.CoverSegment, entries []intervals.Entry, minAcc, maxAcc int64, variant CoverVariant) []gdm.Region {
+	qualifies := func(d int) bool { return int64(d) >= minAcc && int64(d) <= maxAcc }
+	var out []gdm.Region
+
+	switch variant {
+	case CoverHistogram:
+		for _, s := range segs {
+			if qualifies(s.Depth) {
+				out = append(out, gdm.Region{Start: s.Start, Stop: s.Stop,
+					Values: []gdm.Value{gdm.Int(int64(s.Depth))}})
+			}
+		}
+		return out
+
+	case CoverSummit:
+		// A summit is a qualifying segment whose depth is not exceeded by
+		// its contiguous neighbours (plateaus emit once).
+		for i, s := range segs {
+			if !qualifies(s.Depth) {
+				continue
+			}
+			leftLower := i == 0 || segs[i-1].Stop != s.Start || segs[i-1].Depth < s.Depth
+			rightLowerOrEqual := i == len(segs)-1 || segs[i+1].Start != s.Stop || segs[i+1].Depth <= s.Depth
+			rightStrictlyHigher := i < len(segs)-1 && segs[i+1].Start == s.Stop && segs[i+1].Depth > s.Depth
+			if leftLower && rightLowerOrEqual && !rightStrictlyHigher {
+				out = append(out, gdm.Region{Start: s.Start, Stop: s.Stop,
+					Values: []gdm.Value{gdm.Int(int64(s.Depth))}})
+			}
+		}
+		return out
+	}
+
+	// CoverStandard and CoverFlat: merge contiguous qualifying segments
+	// into runs, tracking the maximum depth.
+	type run struct {
+		start, stop int64
+		maxDepth    int
+	}
+	var runs []run
+	for _, s := range segs {
+		if !qualifies(s.Depth) {
+			continue
+		}
+		if n := len(runs); n > 0 && runs[n-1].stop == s.Start {
+			runs[n-1].stop = s.Stop
+			if s.Depth > runs[n-1].maxDepth {
+				runs[n-1].maxDepth = s.Depth
+			}
+		} else {
+			runs = append(runs, run{s.Start, s.Stop, s.Depth})
+		}
+	}
+	for _, rn := range runs {
+		start, stop := rn.start, rn.stop
+		if variant == CoverFlat {
+			// Extend to the extent of every original region intersecting
+			// the run.
+			for _, e := range entries {
+				if e.Start < rn.stop && rn.start < e.Stop {
+					if e.Start < start {
+						start = e.Start
+					}
+					if e.Stop > stop {
+						stop = e.Stop
+					}
+				}
+			}
+		}
+		out = append(out, gdm.Region{Start: start, Stop: stop,
+			Values: []gdm.Value{gdm.Int(int64(rn.maxDepth))}})
+	}
+	return out
+}

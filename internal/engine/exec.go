@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+)
+
+// Catalog resolves dataset names for Scan nodes.
+type Catalog interface {
+	Dataset(name string) (*gdm.Dataset, error)
+}
+
+// MapCatalog is the in-memory Catalog.
+type MapCatalog map[string]*gdm.Dataset
+
+// Dataset implements Catalog.
+func (c MapCatalog) Dataset(name string) (*gdm.Dataset, error) {
+	ds, ok := c[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown dataset %q", name)
+	}
+	return ds, nil
+}
+
+// Run executes a logical plan against a catalog under the configured
+// backend.
+//
+// All backends share the operator kernels; they differ in scheduling:
+//
+//   - ModeSerial executes operator-at-a-time with no parallelism.
+//   - ModeBatch executes operator-at-a-time, each operator fanning its
+//     samples/pairs out to the worker pool and fully materializing its
+//     output before the next operator starts (Spark-style stages).
+//   - ModeStream additionally fuses chains of sample-local operators
+//     (SELECT, PROJECT, EXTEND) into a single pipelined pass per sample —
+//     no intermediate dataset is materialized inside a chain — and
+//     evaluates the two inputs of binary operators concurrently
+//     (Flink-style pipelined dataflow).
+func Run(cfg Config, plan Node, cat Catalog) (*gdm.Dataset, error) {
+	return NewSession(cfg, cat).Eval(plan)
+}
+
+// Session evaluates plans with a shared result cache, so several plans that
+// share subtrees (the variables of one GMQL script) each execute the shared
+// work once.
+type Session struct{ e *evaluator }
+
+// NewSession creates an evaluation session over the catalog.
+func NewSession(cfg Config, cat Catalog) *Session {
+	return &Session{e: &evaluator{cfg: cfg, cat: cat, cache: make(map[Node]*gdm.Dataset)}}
+}
+
+// Eval executes one plan, reusing any cached subtree results.
+func (s *Session) Eval(plan Node) (*gdm.Dataset, error) { return s.e.eval(plan) }
+
+type evaluator struct {
+	cfg Config
+	cat Catalog
+	// cache memoizes results by plan node identity, so a subplan shared by
+	// several GMQL variables executes once. Operators never mutate their
+	// inputs, which makes sharing results safe.
+	mu    sync.Mutex
+	cache map[Node]*gdm.Dataset
+}
+
+func (e *evaluator) eval(n Node) (*gdm.Dataset, error) {
+	e.mu.Lock()
+	if ds, ok := e.cache[n]; ok {
+		e.mu.Unlock()
+		return ds, nil
+	}
+	e.mu.Unlock()
+	ds, err := e.evalUncached(n)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.cache[n] = ds
+	e.mu.Unlock()
+	return ds, nil
+}
+
+func (e *evaluator) evalUncached(n Node) (*gdm.Dataset, error) {
+	if e.cfg.Mode == ModeStream && !e.cfg.DisableFusion {
+		if ds, ok, err := e.tryFusedChain(n); ok || err != nil {
+			return ds, err
+		}
+	}
+	switch op := n.(type) {
+	case *Scan:
+		return e.cat.Dataset(op.Dataset)
+	case *SelectOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		meta, err := e.resolveSelectMeta(op)
+		if err != nil {
+			return nil, err
+		}
+		return Select(e.cfg, in, meta, op.Region)
+	case *ProjectOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return Project(e.cfg, in, op.Args)
+	case *ExtendOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return Extend(e.cfg, in, op.Aggs)
+	case *MergeOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return Merge(e.cfg, in, op.GroupBy)
+	case *GroupOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return Group(e.cfg, in, op.Args)
+	case *OrderOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return Order(e.cfg, in, op.Args)
+	case *CoverOp:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return Cover(e.cfg, in, op.Args)
+	case *UnionOp:
+		l, r, err := e.evalPair(op.Left, op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return Union(e.cfg, l, r)
+	case *DifferenceOp:
+		l, r, err := e.evalPair(op.Left, op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return Difference(e.cfg, l, r, op.Args)
+	case *MapOp:
+		l, r, err := e.evalPair(op.Ref, op.Exp)
+		if err != nil {
+			return nil, err
+		}
+		return Map(e.cfg, l, r, op.Args)
+	case *JoinOp:
+		l, r, err := e.evalPair(op.Left, op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return Join(e.cfg, l, r, op.Args)
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", n)
+	}
+}
+
+// evalPair evaluates the two inputs of a binary operator: sequentially for
+// the serial and batch backends, concurrently for the stream backend.
+func (e *evaluator) evalPair(left, right Node) (*gdm.Dataset, *gdm.Dataset, error) {
+	if e.cfg.Mode != ModeStream {
+		l, err := e.eval(left)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := e.eval(right)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, r, nil
+	}
+	type res struct {
+		ds  *gdm.Dataset
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		ds, err := e.eval(right)
+		ch <- res{ds, err}
+	}()
+	l, lerr := e.eval(left)
+	rres := <-ch
+	if lerr != nil {
+		return nil, nil, lerr
+	}
+	if rres.err != nil {
+		return nil, nil, rres.err
+	}
+	return l, rres.ds, nil
+}
+
+// resolveSelectMeta composes a SelectOp's metadata predicate with its
+// semijoin clause: the external dataset is evaluated (cached, like any
+// subplan) and its join-key set becomes an extra metadata filter.
+func (e *evaluator) resolveSelectMeta(op *SelectOp) (expr.MetaPredicate, error) {
+	if op.SemiJoin == nil {
+		return op.Meta, nil
+	}
+	ext, err := e.eval(op.SemiJoin.External)
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool, len(ext.Samples))
+	for _, s := range ext.Samples {
+		keys[groupKey(s.Meta, op.SemiJoin.Attrs)] = true
+	}
+	sj := semiJoinPred{keys: keys, attrs: op.SemiJoin.Attrs, negated: op.SemiJoin.Negated}
+	return andMeta(op.Meta, sj), nil
+}
+
+// semiJoinPred is the compiled semijoin metadata filter.
+type semiJoinPred struct {
+	keys    map[string]bool
+	attrs   []string
+	negated bool
+}
+
+// EvalMeta implements expr.MetaPredicate.
+func (p semiJoinPred) EvalMeta(md *gdm.Metadata) bool {
+	in := p.keys[groupKey(md, p.attrs)]
+	if p.negated {
+		return !in
+	}
+	return in
+}
+
+// String implements expr.MetaPredicate.
+func (p semiJoinPred) String() string {
+	op := "IN"
+	if p.negated {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("semijoin([%s] %s external)", strings.Join(p.attrs, ","), op)
+}
+
+// fusable reports whether the node is a sample-local stage the stream
+// backend can fuse, returning its input.
+func fusable(n Node) (input Node, ok bool) {
+	switch op := n.(type) {
+	case *SelectOp:
+		return op.Input, true
+	case *ProjectOp:
+		return op.Input, true
+	case *ExtendOp:
+		return op.Input, true
+	default:
+		return nil, false
+	}
+}
+
+// tryFusedChain detects a maximal chain of sample-local operators ending at
+// n, evaluates the chain's source once, compiles every operator in the chain
+// into a stage against the flowing schema, and streams each sample through
+// the whole chain in one pass. Returns ok=false when n heads no chain of
+// length >= 2 (single operators gain nothing from fusion).
+func (e *evaluator) tryFusedChain(n Node) (*gdm.Dataset, bool, error) {
+	var chain []Node // outermost first
+	cur := n
+	for {
+		input, ok := fusable(cur)
+		if !ok {
+			break
+		}
+		chain = append(chain, cur)
+		cur = input
+	}
+	if len(chain) < 2 {
+		return nil, false, nil
+	}
+	src, err := e.eval(cur)
+	if err != nil {
+		return nil, true, err
+	}
+	// Compile innermost-first so the schema flows through the chain.
+	stages := make([]stage, 0, len(chain))
+	schema := src.Schema
+	for i := len(chain) - 1; i >= 0; i-- {
+		var st stage
+		var cerr error
+		switch op := chain[i].(type) {
+		case *SelectOp:
+			var meta expr.MetaPredicate
+			meta, cerr = e.resolveSelectMeta(op)
+			if cerr == nil {
+				st, cerr = compileSelect(e.cfg, schema, meta, op.Region)
+			}
+		case *ProjectOp:
+			st, cerr = compileProject(schema, op.Args)
+		case *ExtendOp:
+			st, cerr = compileExtend(schema, op.Aggs)
+		}
+		if cerr != nil {
+			return nil, true, cerr
+		}
+		stages = append(stages, st)
+		schema = st.schema
+	}
+	return applyStages(e.cfg, src, src.Name, stages), true, nil
+}
+
+// Optimize applies the logical rewrites of the GMQL optimizer:
+//
+//  1. Consecutive SELECTs merge into one (their predicates AND together), so
+//     a fused or materialized chain makes one pass instead of two.
+//  2. SELECT over UNION pushes down into both branches, pruning samples
+//     before they are copied.
+//
+// The meta-first sample pruning itself lives in the SELECT kernel (it is an
+// execution-time property controlled by Config.MetaFirst).
+func Optimize(n Node) Node {
+	switch op := n.(type) {
+	case *SelectOp:
+		op.Input = Optimize(op.Input)
+		if op.SemiJoin != nil {
+			op.SemiJoin.External = Optimize(op.SemiJoin.External)
+		}
+		// Merging and pushdown keep predicates sample-local; a semijoin on
+		// the outer select would change which external evaluation happens,
+		// so rewrites only fire for plain selects.
+		if inner, ok := op.Input.(*SelectOp); ok && op.SemiJoin == nil && inner.SemiJoin == nil {
+			return &SelectOp{
+				Input:  inner.Input,
+				Meta:   andMeta(op.Meta, inner.Meta),
+				Region: andRegion(op.Region, inner.Region),
+			}
+		}
+		if u, ok := op.Input.(*UnionOp); ok && op.SemiJoin == nil {
+			return &UnionOp{
+				Left:  Optimize(&SelectOp{Input: u.Left, Meta: op.Meta, Region: op.Region}),
+				Right: Optimize(&SelectOp{Input: u.Right, Meta: op.Meta, Region: op.Region}),
+			}
+		}
+		return op
+	case *ProjectOp:
+		op.Input = Optimize(op.Input)
+		return op
+	case *ExtendOp:
+		op.Input = Optimize(op.Input)
+		return op
+	case *MergeOp:
+		op.Input = Optimize(op.Input)
+		return op
+	case *GroupOp:
+		op.Input = Optimize(op.Input)
+		return op
+	case *OrderOp:
+		op.Input = Optimize(op.Input)
+		return op
+	case *CoverOp:
+		op.Input = Optimize(op.Input)
+		return op
+	case *UnionOp:
+		op.Left, op.Right = Optimize(op.Left), Optimize(op.Right)
+		return op
+	case *DifferenceOp:
+		op.Left, op.Right = Optimize(op.Left), Optimize(op.Right)
+		return op
+	case *MapOp:
+		op.Ref, op.Exp = Optimize(op.Ref), Optimize(op.Exp)
+		return op
+	case *JoinOp:
+		op.Left, op.Right = Optimize(op.Left), Optimize(op.Right)
+		return op
+	default:
+		return n
+	}
+}
+
+func andMeta(a, b expr.MetaPredicate) expr.MetaPredicate {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return expr.MetaAnd{Left: a, Right: b}
+	}
+}
+
+func andRegion(a, b expr.Node) expr.Node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return expr.And{Left: a, Right: b}
+	}
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+)
+
+// TestOperatorInvariants checks, for every operator over a battery of random
+// datasets, the DESIGN.md invariants: outputs validate (canonical region
+// order, typed values, unique sample IDs) and inputs are never mutated.
+func TestOperatorInvariants(t *testing.T) {
+	cfg := Config{Mode: ModeStream, Workers: 3, MetaFirst: true}
+	scoreGt := expr.Cmp{Op: expr.CmpGt, Left: expr.Attr{Name: "score"}, Right: expr.Const{Value: gdm.Float(5)}}
+	ops := map[string]func(a, b *gdm.Dataset) (*gdm.Dataset, error){
+		"select": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Select(cfg, a, expr.MetaExists{Attr: "cell"}, scoreGt)
+		},
+		"project": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Project(cfg, a, ProjectArgs{Regions: []ProjectItem{
+				{Name: "score"},
+				{Name: "mid", Expr: expr.Arith{Op: expr.OpAdd, Left: expr.Attr{Name: "left"}, Right: expr.Attr{Name: "right"}}},
+			}})
+		},
+		"extend": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Extend(cfg, a, []expr.Aggregate{{Output: "n", Func: expr.AggCount}})
+		},
+		"merge": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Merge(cfg, a, []string{"cell"})
+		},
+		"group": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Group(cfg, a, GroupArgs{By: []string{"dataType"},
+				MetaAggs: []expr.Aggregate{{Output: "n", Func: expr.AggCountSamp}}})
+		},
+		"order": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Order(cfg, a, OrderArgs{Keys: []OrderKey{{Attr: "cell"}}, Top: 3})
+		},
+		"union": func(a, b *gdm.Dataset) (*gdm.Dataset, error) {
+			return Union(cfg, a, b)
+		},
+		"difference": func(a, b *gdm.Dataset) (*gdm.Dataset, error) {
+			return Difference(cfg, a, b, DifferenceArgs{})
+		},
+		"map": func(a, b *gdm.Dataset) (*gdm.Dataset, error) {
+			return Map(cfg, a, b, MapArgs{Aggs: []expr.Aggregate{
+				{Output: "n", Func: expr.AggCount},
+				{Output: "avg", Func: expr.AggAvg, Attr: "score"},
+			}})
+		},
+		"join": func(a, b *gdm.Dataset) (*gdm.Dataset, error) {
+			return Join(cfg, a, b, JoinArgs{
+				Pred:   GenometricPred{Conds: []DistCond{{Op: DistLE, Dist: 200}}},
+				Output: OutCat,
+			})
+		},
+		"join-md": func(a, b *gdm.Dataset) (*gdm.Dataset, error) {
+			return Join(cfg, a, b, JoinArgs{Pred: GenometricPred{MinDistK: 2}, Output: OutLeft})
+		},
+		"cover": func(a, _ *gdm.Dataset) (*gdm.Dataset, error) {
+			return Cover(cfg, a, CoverArgs{
+				Min: CoverBound{Kind: BoundN, N: 2}, Max: CoverBound{Kind: BoundAny}})
+		},
+	}
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		a := randomDataset(rng, fmt.Sprintf("A%d", trial), 3+trial, 40)
+		b := randomDataset(rng, fmt.Sprintf("B%d", trial), 2+trial, 40)
+		aClone, bClone := a.Clone(), b.Clone()
+		for name, op := range ops {
+			out, err := op(a, b)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if err := out.Validate(); err != nil {
+				t.Errorf("trial %d %s: invalid output: %v", trial, name, err)
+			}
+			datasetsEquivalent(t, fmt.Sprintf("trial %d %s input A", trial, name), aClone, a)
+			datasetsEquivalent(t, fmt.Sprintf("trial %d %s input B", trial, name), bClone, b)
+		}
+	}
+}
+
+// TestMapCardinalityLawProperty: |output sample regions| == |ref sample
+// regions| for every pair, across random inputs and backends.
+func TestMapCardinalityLawProperty(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		ref := randomDataset(rng, "REF", 1+trial%3, 30)
+		exp := randomDataset(rng, "EXP", 2, 30)
+		for _, cfg := range allConfigs() {
+			out, err := Map(cfg, ref, exp, MapArgs{Aggs: countAgg()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Samples) != len(ref.Samples)*len(exp.Samples) {
+				t.Fatalf("trial %d: %d output samples, want %d",
+					trial, len(out.Samples), len(ref.Samples)*len(exp.Samples))
+			}
+			// Each output sample corresponds to one ref sample; counts per
+			// ref sample size must match.
+			sizes := map[int]int{}
+			for _, s := range ref.Samples {
+				sizes[len(s.Regions)] += len(exp.Samples)
+			}
+			got := map[int]int{}
+			for _, s := range out.Samples {
+				got[len(s.Regions)]++
+			}
+			for n, want := range sizes {
+				if got[n] < want {
+					t.Fatalf("trial %d: %d samples with %d regions, want >= %d", trial, got[n], n, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMapCountConservation: the total MAP count equals the number of
+// (ref region, exp region) overlapping pairs computed by brute force.
+func TestMapCountConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	ref := randomDataset(rng, "REF", 2, 50)
+	exp := randomDataset(rng, "EXP", 2, 50)
+	out, err := Map(Config{MetaFirst: true}, ref, exp, MapArgs{Aggs: countAgg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := out.Schema.Index("count")
+	var got int64
+	for _, s := range out.Samples {
+		for _, r := range s.Regions {
+			got += r.Values[ci].Int()
+		}
+	}
+	var want int64
+	for _, rs := range ref.Samples {
+		for _, es := range exp.Samples {
+			for _, rr := range rs.Regions {
+				for _, er := range es.Regions {
+					if rr.Overlaps(er) {
+						want++
+					}
+				}
+			}
+		}
+	}
+	if got != want {
+		t.Errorf("total count = %d, brute force says %d", got, want)
+	}
+}
+
+// TestDifferenceSubset: every output region exists in the left input.
+func TestDifferenceSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	left := randomDataset(rng, "L", 3, 60)
+	right := randomDataset(rng, "R", 3, 60)
+	out, err := Difference(Config{MetaFirst: true}, left, right, DifferenceArgs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out.Samples {
+		src := left.Samples[i]
+		if len(s.Regions) > len(src.Regions) {
+			t.Fatalf("difference grew sample %s", s.ID)
+		}
+		// Each surviving region must appear in the source (two-pointer scan
+		// over sorted regions).
+		j := 0
+		for _, r := range s.Regions {
+			for j < len(src.Regions) && src.Regions[j].String() != r.String() {
+				j++
+			}
+			if j == len(src.Regions) {
+				t.Fatalf("region %s not in source sample %s", r, s.ID)
+			}
+		}
+	}
+}
+
+// TestUnionCountProperty: sample count adds up, region count adds up.
+func TestUnionCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	a := randomDataset(rng, "A", 4, 30)
+	b := randomDataset(rng, "B", 3, 30)
+	out, err := Union(Config{MetaFirst: true}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Samples) != 7 {
+		t.Errorf("samples = %d", len(out.Samples))
+	}
+	if out.NumRegions() != a.NumRegions()+b.NumRegions() {
+		t.Errorf("regions = %d, want %d", out.NumRegions(), a.NumRegions()+b.NumRegions())
+	}
+}

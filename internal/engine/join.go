@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"genogo/internal/gdm"
+	"genogo/internal/intervals"
+)
+
+// DistOp is a genometric distance comparison operator.
+type DistOp uint8
+
+// Distance condition operators: DLE (<=), DL (<), DGE (>=), DG (>).
+const (
+	DistLE DistOp = iota
+	DistLT
+	DistGE
+	DistGT
+)
+
+// String renders the GMQL keyword.
+func (op DistOp) String() string {
+	switch op {
+	case DistLE:
+		return "DLE"
+	case DistLT:
+		return "DL"
+	case DistGE:
+		return "DGE"
+	case DistGT:
+		return "DG"
+	default:
+		return fmt.Sprintf("DIST(%d)", uint8(op))
+	}
+}
+
+// DistCond is one atomic distance condition, e.g. DLE(1000).
+type DistCond struct {
+	Op   DistOp
+	Dist int64
+}
+
+func (c DistCond) holds(d int64) bool {
+	switch c.Op {
+	case DistLE:
+		return d <= c.Dist
+	case DistLT:
+		return d < c.Dist
+	case DistGE:
+		return d >= c.Dist
+	case DistGT:
+		return d > c.Dist
+	default:
+		return false
+	}
+}
+
+// StreamDir restricts the experiment region's position relative to the
+// anchor region's strand (GMQL UPSTREAM/DOWNSTREAM clauses).
+type StreamDir uint8
+
+// Stream directions.
+const (
+	StreamNone StreamDir = iota
+	StreamUp
+	StreamDown
+)
+
+// GenometricPred is the conjunction of genometric clauses of a JOIN:
+// distance conditions, an optional minimum-distance clause MD(k) selecting
+// the k nearest experiment regions per anchor, and an optional
+// upstream/downstream restriction.
+type GenometricPred struct {
+	Conds    []DistCond
+	MinDistK int // MD(k); 0 disables
+	Stream   StreamDir
+}
+
+// upperBound extracts the tightest "distance <= b" bound implied by the
+// conditions; ok is false when no upper bound exists.
+func (p GenometricPred) upperBound() (int64, bool) {
+	bound := int64(math.MaxInt64)
+	ok := false
+	for _, c := range p.Conds {
+		switch c.Op {
+		case DistLE:
+			if c.Dist < bound {
+				bound = c.Dist
+			}
+			ok = true
+		case DistLT:
+			if c.Dist-1 < bound {
+				bound = c.Dist - 1
+			}
+			ok = true
+		}
+	}
+	return bound, ok
+}
+
+func (p GenometricPred) holds(d int64) bool {
+	for _, c := range p.Conds {
+		if !c.holds(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinOutput selects the coordinates of the regions a genometric JOIN emits.
+type JoinOutput uint8
+
+// Join output modes.
+const (
+	// OutInt emits the intersection of the pair (overlapping pairs only).
+	OutInt JoinOutput = iota
+	// OutLeft emits the anchor region's coordinates.
+	OutLeft
+	// OutRight emits the experiment region's coordinates.
+	OutRight
+	// OutCat emits the contig: from the leftmost start to the rightmost stop.
+	OutCat
+)
+
+// String renders the GMQL keyword.
+func (o JoinOutput) String() string {
+	switch o {
+	case OutInt:
+		return "INT"
+	case OutLeft:
+		return "LEFT"
+	case OutRight:
+		return "RIGHT"
+	case OutCat:
+		return "CAT"
+	default:
+		return fmt.Sprintf("OUT(%d)", uint8(o))
+	}
+}
+
+// JoinArgs parametrizes a genometric JOIN.
+type JoinArgs struct {
+	Pred   GenometricPred
+	Output JoinOutput
+	JoinBy []string
+}
+
+// Join implements GMQL GENOMETRIC JOIN: for every (anchor, experiment)
+// sample pair it emits one output sample containing a region for each
+// region pair that satisfies the genometric predicate. The output schema is
+// the GDM merge of the operand schemas (anchor attributes first).
+func Join(cfg Config, left, right *gdm.Dataset, args JoinArgs) (*gdm.Dataset, error) {
+	merged := mustMergeSchemas(left.Schema, right.Schema, "right")
+	pairs := pairings(left, right, args.JoinBy)
+	out := gdm.NewDataset(left.Name, merged.Schema)
+	outSamples := make([]*gdm.Sample, len(pairs))
+
+	// Tasks span both parallelism axes: (sample pair, anchor chromosome).
+	// Each task owns a private output slice; pair outputs are concatenated
+	// and sorted afterwards, so no locks are needed.
+	type task struct {
+		pair int
+		cs   chromSpan
+		out  []gdm.Region
+	}
+	tasks := make([]*task, 0, len(pairs))
+	taskIdx := make([][]int, len(pairs))
+	for pi, p := range pairs {
+		for _, cs := range chromSpans(p[0]) {
+			taskIdx[pi] = append(taskIdx[pi], len(tasks))
+			tasks = append(tasks, &task{pair: pi, cs: cs})
+		}
+	}
+	cfg.forEach(len(tasks), func(ti int) {
+		tk := tasks[ti]
+		l, r := pairs[tk.pair][0], pairs[tk.pair][1]
+		cs := tk.cs
+		rlo, rhi := r.ChromRange(cs.chrom)
+		if rlo == rhi {
+			return
+		}
+		rightEntries := chromEntries(r, rlo, rhi)
+		var maxRightLen int64
+		for _, e := range rightEntries {
+			if ln := e.Stop - e.Start; ln > maxRightLen {
+				maxRightLen = ln
+			}
+		}
+		for li := cs.lo; li < cs.hi; li++ {
+			anchor := &l.Regions[li]
+			for _, cand := range joinCandidates(args.Pred, anchor, rightEntries, maxRightLen) {
+				er := &r.Regions[cand.entry.Payload]
+				if args.Stream(anchor, er) {
+					continue
+				}
+				reg, ok := joinOutputRegion(args.Output, anchor, er)
+				if !ok {
+					continue
+				}
+				vals := make([]gdm.Value, 0, merged.Schema.Len())
+				vals = append(vals, anchor.Values...)
+				vals = append(vals, er.Values...)
+				reg.Values = vals
+				tk.out = append(tk.out, reg)
+			}
+		}
+	})
+	cfg.forEach(len(pairs), func(pi int) {
+		l, r := pairs[pi][0], pairs[pi][1]
+		ns := &gdm.Sample{
+			ID:   gdm.DeriveID("join", l.ID, r.ID),
+			Meta: mergeSampleMeta(l, r),
+		}
+		for _, ti := range taskIdx[pi] {
+			ns.Regions = append(ns.Regions, tasks[ti].out...)
+		}
+		ns.SortRegions()
+		outSamples[pi] = ns
+	})
+	out.Samples = outSamples
+	return out, nil
+}
+
+// Stream reports whether the experiment region must be SKIPPED under the
+// stream clause (it is on the wrong side of the anchor).
+func (a JoinArgs) Stream(anchor, exp *gdm.Region) bool {
+	switch a.Pred.Stream {
+	case StreamUp:
+		return !anchor.Upstream(*exp)
+	case StreamDown:
+		return !anchor.Downstream(*exp)
+	default:
+		return false
+	}
+}
+
+type joinCand struct {
+	entry intervals.Entry
+	dist  int64
+}
+
+// joinCandidates returns the experiment entries satisfying the distance
+// conditions for one anchor, applying MD(k) when present. MD(k) is computed
+// over all same-chromosome experiment regions, then intersected with the
+// distance conditions, per GMQL semantics.
+func joinCandidates(pred GenometricPred, anchor *gdm.Region, rightEntries []intervals.Entry, maxRightLen int64) []joinCand {
+	var cands []joinCand
+	if pred.MinDistK > 0 {
+		for _, e := range intervals.Nearest(rightEntries, anchor.Start, anchor.Stop, pred.MinDistK) {
+			d := intervals.Distance(anchor.Start, anchor.Stop, e.Start, e.Stop)
+			if pred.holds(d) {
+				cands = append(cands, joinCand{e, d})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].entry.Payload < cands[j].entry.Payload })
+		return cands
+	}
+	if bound, ok := pred.upperBound(); ok {
+		// Entries are start-sorted. Anything starting beyond
+		// anchor.Stop+bound is too far to the right; anything whose stop is
+		// before anchor.Start-bound is too far to the left, and with starts
+		// at least Start-maxRightLen away that gives a left cut too.
+		hi := sort.Search(len(rightEntries), func(i int) bool {
+			return rightEntries[i].Start > anchor.Stop+bound
+		})
+		lo := sort.Search(hi, func(i int) bool {
+			return rightEntries[i].Start >= anchor.Start-bound-maxRightLen
+		})
+		for _, e := range rightEntries[lo:hi] {
+			d := intervals.Distance(anchor.Start, anchor.Stop, e.Start, e.Stop)
+			if d <= bound && pred.holds(d) {
+				cands = append(cands, joinCand{e, d})
+			}
+		}
+		return cands
+	}
+	// No upper bound and no MD: scan the chromosome (documented O(n·m)
+	// fallback; the compiler warns about unbounded genometric joins).
+	for _, e := range rightEntries {
+		d := intervals.Distance(anchor.Start, anchor.Stop, e.Start, e.Stop)
+		if pred.holds(d) {
+			cands = append(cands, joinCand{e, d})
+		}
+	}
+	return cands
+}
+
+// joinOutputRegion builds the emitted region's coordinates for one pair.
+func joinOutputRegion(mode JoinOutput, anchor, exp *gdm.Region) (gdm.Region, bool) {
+	strand := anchor.Strand
+	if strand == gdm.StrandNone {
+		strand = exp.Strand
+	} else if exp.Strand != gdm.StrandNone && exp.Strand != strand {
+		strand = gdm.StrandNone
+	}
+	switch mode {
+	case OutInt:
+		if !anchor.Overlaps(*exp) {
+			return gdm.Region{}, false
+		}
+		inter, _ := anchor.Intersect(*exp)
+		inter.Strand = strand
+		return inter, true
+	case OutLeft:
+		return gdm.Region{Chrom: anchor.Chrom, Start: anchor.Start, Stop: anchor.Stop, Strand: anchor.Strand}, true
+	case OutRight:
+		return gdm.Region{Chrom: exp.Chrom, Start: exp.Start, Stop: exp.Stop, Strand: exp.Strand}, true
+	case OutCat:
+		start, stop := anchor.Start, anchor.Stop
+		if exp.Start < start {
+			start = exp.Start
+		}
+		if exp.Stop > stop {
+			stop = exp.Stop
+		}
+		return gdm.Region{Chrom: anchor.Chrom, Start: start, Stop: stop, Strand: strand}, true
+	default:
+		return gdm.Region{}, false
+	}
+}

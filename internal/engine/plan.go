@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"genogo/internal/expr"
+)
+
+// Node is a logical plan node. The GMQL compiler produces Node trees; Run
+// executes them against a Catalog under a Config. The plan is
+// backend-independent — the same tree runs on the serial, batch and stream
+// backends, the architecture claim of Section 4.2 of the paper.
+type Node interface {
+	// Describe renders the node for EXPLAIN output, with children indented.
+	Describe(indent int) string
+}
+
+func pad(indent int) string { return strings.Repeat("  ", indent) }
+
+// Scan reads a named dataset from the catalog.
+type Scan struct{ Dataset string }
+
+// Describe implements Node.
+func (n *Scan) Describe(i int) string { return fmt.Sprintf("%sSCAN %s", pad(i), n.Dataset) }
+
+// SemiJoin is the semijoin clause of SELECT: keep only samples whose values
+// of Attrs match (or, Negated, do not match) those of some sample of the
+// External dataset — the GMQL mechanism for filtering one dataset's samples
+// by the metadata of another.
+type SemiJoin struct {
+	Attrs    []string
+	External Node
+	Negated  bool
+}
+
+// SelectOp filters samples by metadata and regions by a region predicate.
+type SelectOp struct {
+	Input    Node
+	Meta     expr.MetaPredicate // nil keeps all samples
+	Region   expr.Node          // nil keeps all regions
+	SemiJoin *SemiJoin          // nil disables the semijoin clause
+}
+
+// Describe implements Node.
+func (n *SelectOp) Describe(i int) string {
+	m, r := "true", "true"
+	if n.Meta != nil {
+		m = n.Meta.String()
+	}
+	if n.Region != nil {
+		r = n.Region.String()
+	}
+	if n.SemiJoin != nil {
+		op := "IN"
+		if n.SemiJoin.Negated {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("%sSELECT meta: %s; region: %s; semijoin: [%s] %s\n%s\n%s",
+			pad(i), m, r, strings.Join(n.SemiJoin.Attrs, ","), op,
+			n.Input.Describe(i+1), n.SemiJoin.External.Describe(i+1))
+	}
+	return fmt.Sprintf("%sSELECT meta: %s; region: %s\n%s", pad(i), m, r, n.Input.Describe(i+1))
+}
+
+// ProjectOp rewrites region attributes and prunes metadata.
+type ProjectOp struct {
+	Input Node
+	Args  ProjectArgs
+}
+
+// Describe implements Node.
+func (n *ProjectOp) Describe(i int) string {
+	var items []string
+	for _, it := range n.Args.Regions {
+		if it.Expr == nil {
+			items = append(items, it.Name)
+		} else {
+			items = append(items, fmt.Sprintf("%s AS %s", it.Name, it.Expr))
+		}
+	}
+	return fmt.Sprintf("%sPROJECT %s\n%s", pad(i), strings.Join(items, ", "), n.Input.Describe(i+1))
+}
+
+// ExtendOp adds region aggregates as metadata.
+type ExtendOp struct {
+	Input Node
+	Aggs  []expr.Aggregate
+}
+
+// Describe implements Node.
+func (n *ExtendOp) Describe(i int) string {
+	return fmt.Sprintf("%sEXTEND %s\n%s", pad(i), aggsString(n.Aggs), n.Input.Describe(i+1))
+}
+
+// MergeOp collapses sample groups into single samples.
+type MergeOp struct {
+	Input   Node
+	GroupBy []string
+}
+
+// Describe implements Node.
+func (n *MergeOp) Describe(i int) string {
+	return fmt.Sprintf("%sMERGE groupby: [%s]\n%s", pad(i), strings.Join(n.GroupBy, ","), n.Input.Describe(i+1))
+}
+
+// GroupOp groups samples by metadata.
+type GroupOp struct {
+	Input Node
+	Args  GroupArgs
+}
+
+// Describe implements Node.
+func (n *GroupOp) Describe(i int) string {
+	return fmt.Sprintf("%sGROUP by: [%s] aggs: %s\n%s",
+		pad(i), strings.Join(n.Args.By, ","), aggsString(n.Args.MetaAggs), n.Input.Describe(i+1))
+}
+
+// OrderOp sorts samples by metadata and truncates.
+type OrderOp struct {
+	Input Node
+	Args  OrderArgs
+}
+
+// Describe implements Node.
+func (n *OrderOp) Describe(i int) string {
+	var keys []string
+	for _, k := range n.Args.Keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		keys = append(keys, k.Attr+" "+dir)
+	}
+	return fmt.Sprintf("%sORDER %s top: %d\n%s", pad(i), strings.Join(keys, ", "), n.Args.Top, n.Input.Describe(i+1))
+}
+
+// UnionOp concatenates two datasets.
+type UnionOp struct{ Left, Right Node }
+
+// Describe implements Node.
+func (n *UnionOp) Describe(i int) string {
+	return fmt.Sprintf("%sUNION\n%s\n%s", pad(i), n.Left.Describe(i+1), n.Right.Describe(i+1))
+}
+
+// DifferenceOp removes left regions overlapping right regions.
+type DifferenceOp struct {
+	Left, Right Node
+	Args        DifferenceArgs
+}
+
+// Describe implements Node.
+func (n *DifferenceOp) Describe(i int) string {
+	return fmt.Sprintf("%sDIFFERENCE joinby: [%s] exact: %v\n%s\n%s",
+		pad(i), strings.Join(n.Args.JoinBy, ","), n.Args.Exact,
+		n.Left.Describe(i+1), n.Right.Describe(i+1))
+}
+
+// MapOp aggregates experiment regions over reference regions.
+type MapOp struct {
+	Ref, Exp Node
+	Args     MapArgs
+}
+
+// Describe implements Node.
+func (n *MapOp) Describe(i int) string {
+	return fmt.Sprintf("%sMAP %s joinby: [%s]\n%s\n%s",
+		pad(i), aggsString(n.Args.Aggs), strings.Join(n.Args.JoinBy, ","),
+		n.Ref.Describe(i+1), n.Exp.Describe(i+1))
+}
+
+// JoinOp is the genometric join.
+type JoinOp struct {
+	Left, Right Node
+	Args        JoinArgs
+}
+
+// Describe implements Node.
+func (n *JoinOp) Describe(i int) string {
+	var conds []string
+	for _, c := range n.Args.Pred.Conds {
+		conds = append(conds, fmt.Sprintf("%s(%d)", c.Op, c.Dist))
+	}
+	if n.Args.Pred.MinDistK > 0 {
+		conds = append(conds, fmt.Sprintf("MD(%d)", n.Args.Pred.MinDistK))
+	}
+	switch n.Args.Pred.Stream {
+	case StreamUp:
+		conds = append(conds, "UP")
+	case StreamDown:
+		conds = append(conds, "DOWN")
+	}
+	return fmt.Sprintf("%sJOIN %s output: %s joinby: [%s]\n%s\n%s",
+		pad(i), strings.Join(conds, ", "), n.Args.Output, strings.Join(n.Args.JoinBy, ","),
+		n.Left.Describe(i+1), n.Right.Describe(i+1))
+}
+
+// CoverOp computes accumulation regions.
+type CoverOp struct {
+	Input Node
+	Args  CoverArgs
+}
+
+// Describe implements Node.
+func (n *CoverOp) Describe(i int) string {
+	return fmt.Sprintf("%s%s(%s, %s) groupby: [%s]\n%s",
+		pad(i), n.Args.Variant, n.Args.Min, n.Args.Max,
+		strings.Join(n.Args.GroupBy, ","), n.Input.Describe(i+1))
+}
+
+func aggsString(aggs []expr.Aggregate) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Explain renders a whole plan tree.
+func Explain(n Node) string { return n.Describe(0) }

@@ -1,0 +1,170 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"genogo/internal/gdm"
+)
+
+func TestParseAggFunc(t *testing.T) {
+	ok := map[string]AggFunc{
+		"COUNT": AggCount, "count": AggCount, "COUNTSAMP": AggCountSamp,
+		"SUM": AggSum, "AVG": AggAvg, "MEAN": AggAvg,
+		"MIN": AggMin, "MAX": AggMax, "MEDIAN": AggMedian,
+		"STD": AggStd, "STDEV": AggStd, "BAG": AggBag,
+	}
+	for in, want := range ok {
+		got, err := ParseAggFunc(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAggFunc(%q) = %v,%v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAggFunc("FROB"); err == nil {
+		t.Error("ParseAggFunc(FROB) succeeded")
+	}
+}
+
+func TestAggFuncMetadata(t *testing.T) {
+	if AggCount.NeedsAttr() || AggCountSamp.NeedsAttr() {
+		t.Error("COUNT needs no attribute")
+	}
+	if !AggSum.NeedsAttr() {
+		t.Error("SUM needs an attribute")
+	}
+	kinds := []struct {
+		f    AggFunc
+		in   gdm.Kind
+		want gdm.Kind
+	}{
+		{AggCount, gdm.KindString, gdm.KindInt},
+		{AggSum, gdm.KindInt, gdm.KindInt},
+		{AggSum, gdm.KindFloat, gdm.KindFloat},
+		{AggAvg, gdm.KindInt, gdm.KindFloat},
+		{AggMedian, gdm.KindInt, gdm.KindFloat},
+		{AggStd, gdm.KindFloat, gdm.KindFloat},
+		{AggMin, gdm.KindString, gdm.KindString},
+		{AggMax, gdm.KindInt, gdm.KindInt},
+		{AggBag, gdm.KindFloat, gdm.KindString},
+	}
+	for _, c := range kinds {
+		if got := c.f.ResultKind(c.in); got != c.want {
+			t.Errorf("%v.ResultKind(%v) = %v, want %v", c.f, c.in, got, c.want)
+		}
+	}
+	a := Aggregate{Output: "n", Func: AggCount}
+	if a.String() != "n AS COUNT" {
+		t.Errorf("Aggregate.String = %q", a.String())
+	}
+	b := Aggregate{Output: "m", Func: AggAvg, Attr: "score"}
+	if b.String() != "m AS AVG(score)" {
+		t.Errorf("Aggregate.String = %q", b.String())
+	}
+}
+
+func vals(fs ...float64) []gdm.Value {
+	out := make([]gdm.Value, len(fs))
+	for i, f := range fs {
+		out[i] = gdm.Float(f)
+	}
+	return out
+}
+
+func TestAggregateValues(t *testing.T) {
+	cases := []struct {
+		fn   AggFunc
+		in   []gdm.Value
+		want gdm.Value
+	}{
+		{AggCount, vals(1, 2, 3), gdm.Int(3)},
+		{AggCount, nil, gdm.Int(0)},
+		{AggSum, vals(1, 2, 3.5), gdm.Float(6.5)},
+		{AggSum, []gdm.Value{gdm.Int(2), gdm.Int(3)}, gdm.Int(5)},
+		{AggSum, nil, gdm.Null()},
+		{AggAvg, vals(2, 4), gdm.Float(3)},
+		{AggMin, vals(5, -1, 3), gdm.Float(-1)},
+		{AggMax, vals(5, -1, 3), gdm.Float(5)},
+		{AggMin, []gdm.Value{gdm.Str("b"), gdm.Str("a")}, gdm.Str("a")},
+		{AggMedian, vals(1, 9, 5), gdm.Float(5)},
+		{AggMedian, vals(1, 9, 5, 7), gdm.Float(6)},
+		{AggStd, vals(2, 2, 2), gdm.Float(0)},
+		{AggBag, []gdm.Value{gdm.Str("b"), gdm.Str("a")}, gdm.Str("a,b")},
+	}
+	for _, c := range cases {
+		got := AggregateValues(c.fn, c.in)
+		if got.IsNull() != c.want.IsNull() || !gdm.Equal(got, c.want) {
+			t.Errorf("%v over %v = %v, want %v", c.fn, c.in, got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorStd(t *testing.T) {
+	got := AggregateValues(AggStd, vals(2, 4, 4, 4, 5, 5, 7, 9))
+	if math.Abs(got.Float()-2.0) > 1e-9 {
+		t.Errorf("STD = %v, want 2", got)
+	}
+}
+
+func TestAccumulatorSkipsNullsAndBadStrings(t *testing.T) {
+	acc := NewAccumulator(AggSum)
+	acc.Add(gdm.Null())
+	acc.Add(gdm.Float(1))
+	acc.Add(gdm.Str("2.5")) // numeric string parses
+	acc.Add(gdm.Str("xyz")) // ignored
+	if acc.Count() != 2 {
+		t.Errorf("Count = %d", acc.Count())
+	}
+	if got := acc.Result(); got.Float() != 3.5 {
+		t.Errorf("Result = %v", got)
+	}
+	// COUNT counts everything, including nulls.
+	c := NewAccumulator(AggCount)
+	c.Add(gdm.Null())
+	c.Add(gdm.Float(1))
+	if c.Result().Int() != 2 {
+		t.Errorf("COUNT with null = %v", c.Result())
+	}
+}
+
+func TestAggregateStrings(t *testing.T) {
+	if got := AggregateStrings(AggAvg, []string{"1", "3"}); got.Float() != 2 {
+		t.Errorf("AVG strings = %v", got)
+	}
+	if got := AggregateStrings(AggBag, []string{"x", "y"}); got.Str() != "x,y" {
+		t.Errorf("BAG strings = %v", got)
+	}
+	if got := AggregateStrings(AggMax, []string{"HeLa", "K562"}); got.Str() != "K562" {
+		t.Errorf("MAX strings = %v", got)
+	}
+}
+
+func TestAccumulatorQuickProperties(t *testing.T) {
+	// SUM = AVG * COUNT, MIN <= MEDIAN <= MAX, STD >= 0.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]gdm.Value, len(raw))
+		for i, r := range raw {
+			vs[i] = gdm.Float(float64(r))
+		}
+		sum := AggregateValues(AggSum, vs).Float()
+		avg := AggregateValues(AggAvg, vs).Float()
+		cnt := AggregateValues(AggCount, vs).Int()
+		med := AggregateValues(AggMedian, vs).Float()
+		mn := AggregateValues(AggMin, vs).Float()
+		mx := AggregateValues(AggMax, vs).Float()
+		std := AggregateValues(AggStd, vs).Float()
+		if math.Abs(sum-avg*float64(cnt)) > 1e-6*(1+math.Abs(sum)) {
+			return false
+		}
+		if mn > med || med > mx {
+			return false
+		}
+		return std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package expr is the evaluable intermediate representation for GMQL
+// predicates, region expressions and aggregate functions. The GMQL compiler
+// (internal/gmql) produces expr trees; the engine (internal/engine) binds
+// them against dataset schemas and evaluates them over regions and metadata.
+package expr
+
+import "fmt"
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator in GMQL surface syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("cmp(%d)", uint8(op))
+	}
+}
+
+// holds reports whether the comparison result c (-1/0/1) satisfies op.
+func (op CmpOp) holds(c int) bool {
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// ArithOp is an arithmetic operator for region projection expressions.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String renders the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("arith(%d)", uint8(op))
+	}
+}

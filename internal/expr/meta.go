@@ -1,0 +1,127 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"genogo/internal/gdm"
+)
+
+// MetaPredicate is a predicate over a sample's metadata, the form used by
+// GMQL SELECT to pick samples before any region is touched (the "meta-first"
+// optimization depends on this separation).
+type MetaPredicate interface {
+	EvalMeta(md *gdm.Metadata) bool
+	String() string
+}
+
+// MetaCmp compares the values of a metadata attribute against a constant.
+// Equality is case-insensitive string matching (the GMQL convention);
+// ordering comparisons parse both sides as numbers and are false for
+// non-numeric values. A sample satisfies the predicate when ANY value of the
+// (possibly multi-valued) attribute does.
+type MetaCmp struct {
+	Attr  string
+	Op    CmpOp
+	Value string
+}
+
+// EvalMeta implements MetaPredicate.
+func (p MetaCmp) EvalMeta(md *gdm.Metadata) bool {
+	vs := md.Values(p.Attr)
+	for _, v := range vs {
+		if p.matches(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p MetaCmp) matches(v string) bool {
+	switch p.Op {
+	case CmpEq:
+		return strings.EqualFold(v, p.Value)
+	case CmpNe:
+		return !strings.EqualFold(v, p.Value)
+	default:
+		a, errA := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		b, errB := strconv.ParseFloat(strings.TrimSpace(p.Value), 64)
+		if errA != nil || errB != nil {
+			// Fall back to lexicographic ordering for non-numeric values.
+			return p.Op.holds(strings.Compare(strings.ToLower(v), strings.ToLower(p.Value)))
+		}
+		switch {
+		case a < b:
+			return p.Op.holds(-1)
+		case a > b:
+			return p.Op.holds(1)
+		default:
+			return p.Op.holds(0)
+		}
+	}
+}
+
+// String implements MetaPredicate.
+func (p MetaCmp) String() string {
+	return fmt.Sprintf("%s %s '%s'", p.Attr, p.Op, p.Value)
+}
+
+// MetaExists is satisfied when the attribute is present at all.
+type MetaExists struct{ Attr string }
+
+// EvalMeta implements MetaPredicate.
+func (p MetaExists) EvalMeta(md *gdm.Metadata) bool { return md.Has(p.Attr) }
+
+// String implements MetaPredicate.
+func (p MetaExists) String() string { return fmt.Sprintf("exists(%s)", p.Attr) }
+
+// MetaText is the free-text keyword predicate used by metadata search
+// services: true when any attribute name or value contains the keyword.
+type MetaText struct{ Keyword string }
+
+// EvalMeta implements MetaPredicate.
+func (p MetaText) EvalMeta(md *gdm.Metadata) bool { return md.MatchText(p.Keyword) }
+
+// String implements MetaPredicate.
+func (p MetaText) String() string { return fmt.Sprintf("text(%q)", p.Keyword) }
+
+// MetaAnd is the conjunction of its operands.
+type MetaAnd struct{ Left, Right MetaPredicate }
+
+// EvalMeta implements MetaPredicate.
+func (p MetaAnd) EvalMeta(md *gdm.Metadata) bool {
+	return p.Left.EvalMeta(md) && p.Right.EvalMeta(md)
+}
+
+// String implements MetaPredicate.
+func (p MetaAnd) String() string { return fmt.Sprintf("(%s AND %s)", p.Left, p.Right) }
+
+// MetaOr is the disjunction of its operands.
+type MetaOr struct{ Left, Right MetaPredicate }
+
+// EvalMeta implements MetaPredicate.
+func (p MetaOr) EvalMeta(md *gdm.Metadata) bool {
+	return p.Left.EvalMeta(md) || p.Right.EvalMeta(md)
+}
+
+// String implements MetaPredicate.
+func (p MetaOr) String() string { return fmt.Sprintf("(%s OR %s)", p.Left, p.Right) }
+
+// MetaNot negates its operand.
+type MetaNot struct{ Inner MetaPredicate }
+
+// EvalMeta implements MetaPredicate.
+func (p MetaNot) EvalMeta(md *gdm.Metadata) bool { return !p.Inner.EvalMeta(md) }
+
+// String implements MetaPredicate.
+func (p MetaNot) String() string { return fmt.Sprintf("NOT %s", p.Inner) }
+
+// MetaTrue accepts every sample; SELECT with no metadata predicate uses it.
+type MetaTrue struct{}
+
+// EvalMeta implements MetaPredicate.
+func (MetaTrue) EvalMeta(*gdm.Metadata) bool { return true }
+
+// String implements MetaPredicate.
+func (MetaTrue) String() string { return "true" }

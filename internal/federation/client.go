@@ -1,0 +1,278 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"genogo/internal/engine"
+	"genogo/internal/formats"
+	"genogo/internal/gdm"
+)
+
+// Client talks to one federation node. BytesReceived accumulates payload
+// traffic so experiments can compare the federated ("ship the query")
+// architecture with the naive ("ship the data") one.
+type Client struct {
+	BaseURL       string
+	HTTP          *http.Client
+	BytesReceived int64
+	BytesSent     int64
+}
+
+// NewClient builds a client for the node at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("federation: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("federation: GET %s: %w", path, err)
+	}
+	c.BytesReceived += int64(len(body))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("federation: GET %s: %s: %s", path, resp.Status, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("federation: POST %s: %w", path, err)
+	}
+	c.BytesSent += int64(len(payload))
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("federation: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("federation: POST %s: %w", path, err)
+	}
+	c.BytesReceived += int64(len(body))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("federation: POST %s: %s: %s", path, resp.Status, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// ListDatasets fetches the node's dataset catalog.
+func (c *Client) ListDatasets() ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	if err := c.getJSON("/datasets", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compile submits a script for compilation and size estimation.
+func (c *Client) Compile(script, varName string) (CompileResponse, error) {
+	var out CompileResponse
+	err := c.postJSON("/compile", CompileRequest{Script: script, Var: varName}, &out)
+	return out, err
+}
+
+// Execute runs a query remotely; the result stays staged at the node.
+func (c *Client) Execute(script, varName string) (QueryResponse, error) {
+	return c.ExecuteWithUserData(script, varName, nil)
+}
+
+// ExecuteWithUserData runs a query remotely, shipping a private user dataset
+// alongside it. The dataset participates in this query only; the node never
+// lists or stores it (Section 4.3's privacy-protected user input samples).
+func (c *Client) ExecuteWithUserData(script, varName string, user *gdm.Dataset) (QueryResponse, error) {
+	req := QueryRequest{Script: script, Var: varName}
+	if user != nil {
+		var buf bytes.Buffer
+		if err := formats.EncodeDataset(&buf, user); err != nil {
+			return QueryResponse{}, fmt.Errorf("federation: encoding user dataset: %w", err)
+		}
+		req.UserDataset = buf.String()
+	}
+	var out QueryResponse
+	if err := c.postJSON("/query", req, &out); err != nil {
+		return out, err
+	}
+	if !out.OK {
+		return out, fmt.Errorf("federation: remote query failed: %s", out.Error)
+	}
+	return out, nil
+}
+
+// FetchChunk retrieves samples [start, start+count) of a staged result,
+// returning the chunk and the staged total.
+func (c *Client) FetchChunk(resultID string, start, count int) (*gdm.Dataset, int, error) {
+	path := fmt.Sprintf("/results/%s?start=%d&count=%d", resultID, start, count)
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("federation: fetch %s: %w", resultID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("federation: fetch %s: %w", resultID, err)
+	}
+	c.BytesReceived += int64(len(body))
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("federation: fetch %s: %s: %s", resultID, resp.Status, body)
+	}
+	total, _ := strconv.Atoi(resp.Header.Get("X-Total-Samples"))
+	ds, err := formats.DecodeDataset(bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	return ds, total, nil
+}
+
+// FetchAll retrieves a whole staged result in chunks of chunkSize samples —
+// the "deferred result retrieval through limited staging" of Section 4.3.
+func (c *Client) FetchAll(resultID string, chunkSize int) (*gdm.Dataset, error) {
+	if chunkSize <= 0 {
+		chunkSize = 8
+	}
+	var out *gdm.Dataset
+	start := 0
+	for {
+		chunk, total, err := c.FetchChunk(resultID, start, chunkSize)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = gdm.NewDataset(chunk.Name, chunk.Schema)
+		}
+		out.Samples = append(out.Samples, chunk.Samples...)
+		start += len(chunk.Samples)
+		if start >= total || len(chunk.Samples) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Release frees a staged result at the node.
+func (c *Client) Release(resultID string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/results/"+resultID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("federation: release %s: %w", resultID, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("federation: release %s: %s", resultID, resp.Status)
+	}
+	return nil
+}
+
+// DownloadDataset pulls a whole remote dataset — the transfer the federated
+// architecture exists to avoid; used for the naive baseline and by the
+// genome-net crawler.
+func (c *Client) DownloadDataset(name string) (*gdm.Dataset, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/datasets/" + name + "/stream")
+	if err != nil {
+		return nil, fmt.Errorf("federation: download %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("federation: download %s: %w", name, err)
+	}
+	c.BytesReceived += int64(len(body))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federation: download %s: %s", name, resp.Status)
+	}
+	return formats.DecodeDataset(bytes.NewReader(body))
+}
+
+// Federator coordinates a query across several nodes: it ships the script
+// to every node, executes locally there, pulls only results, and merges
+// them into one dataset (sample union). This is the query-shipping
+// architecture of Section 4.4.
+type Federator struct {
+	Clients []*Client
+}
+
+// BytesMoved totals payload traffic across all member clients.
+func (f *Federator) BytesMoved() int64 {
+	var total int64
+	for _, c := range f.Clients {
+		total += c.BytesReceived + c.BytesSent
+	}
+	return total
+}
+
+// Query runs the script on every node and merges the results.
+func (f *Federator) Query(script, varName string, chunkSize int) (*gdm.Dataset, error) {
+	var merged *gdm.Dataset
+	for _, c := range f.Clients {
+		qr, err := c.Execute(script, varName)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := c.FetchAll(qr.ResultID, chunkSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Release(qr.ResultID); err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = ds
+			continue
+		}
+		u, err := engine.Union(engine.Config{MetaFirst: true}, merged, ds)
+		if err != nil {
+			return nil, err
+		}
+		merged = u
+	}
+	return merged, nil
+}
+
+// QueryNaive is the baseline architecture: download every input dataset the
+// script references from every node and evaluate locally. It moves the full
+// inputs over the network instead of the results.
+func (f *Federator) QueryNaive(script, varName string, datasets []string, cfg engine.Config) (*gdm.Dataset, error) {
+	var merged *gdm.Dataset
+	for _, c := range f.Clients {
+		cat := engine.MapCatalog{}
+		for _, name := range datasets {
+			ds, err := c.DownloadDataset(name)
+			if err != nil {
+				return nil, err
+			}
+			cat[name] = ds
+		}
+		prog, err := parseScript(script)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := evalScript(prog, varName, cfg, cat)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = ds
+			continue
+		}
+		u, err := engine.Union(cfg, merged, ds)
+		if err != nil {
+			return nil, err
+		}
+		merged = u
+	}
+	return merged, nil
+}

@@ -1,0 +1,179 @@
+package federation
+
+import (
+	"genogo/internal/engine"
+	"genogo/internal/gdm"
+)
+
+// Estimate is a compile-time prediction of a query result's size — the
+// information the paper's protocol returns with a compilation so the
+// requester can plan staging resources before launching execution.
+type Estimate struct {
+	Samples int   `json:"samples"`
+	Regions int   `json:"regions"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// DatasetStats are the per-dataset statistics estimation runs on.
+type DatasetStats struct {
+	Samples        int
+	Regions        int
+	BytesPerRegion float64
+}
+
+// StatsProvider resolves dataset statistics by name.
+type StatsProvider func(name string) (DatasetStats, bool)
+
+// stats builds a StatsProvider over the server's local data.
+func (s *Server) stats() StatsProvider {
+	return func(name string) (DatasetStats, bool) {
+		s.mu.Lock()
+		ds, ok := s.data[name]
+		s.mu.Unlock()
+		if !ok {
+			return DatasetStats{}, false
+		}
+		return statsOf(ds), true
+	}
+}
+
+func statsOf(ds *gdm.Dataset) DatasetStats {
+	st := DatasetStats{Samples: len(ds.Samples), Regions: ds.NumRegions()}
+	if st.Regions > 0 {
+		st.BytesPerRegion = float64(ds.EstimateBytes()) / float64(st.Regions)
+	} else {
+		st.BytesPerRegion = 40
+	}
+	return st
+}
+
+// Selectivity constants of the estimator. These are the classic
+// System-R-style magic numbers: crude, but sufficient for the protocol's
+// purpose of sizing staging buffers within an order of magnitude.
+const (
+	selMetaPredicate   = 0.5 // fraction of samples surviving a metadata predicate
+	selRegionPredicate = 0.3 // fraction of regions surviving a region predicate
+	selJoinPerPair     = 2.0 // emitted regions per anchor region per pair
+	selDifference      = 0.7
+	coverCompression   = 0.4 // cover output regions vs input regions
+)
+
+// EstimatePlan predicts the result cardinality of a plan bottom-up.
+// Unknown datasets contribute zero (the node will fail the query at
+// execution time anyway; compile-time estimation stays total).
+func EstimatePlan(n engine.Node, stats StatsProvider) Estimate {
+	e, bpr := estimateNode(n, stats)
+	e.Bytes = int64(float64(e.Regions) * bpr)
+	return e
+}
+
+// estimateNode returns the cardinality estimate plus the running
+// bytes-per-region figure.
+func estimateNode(n engine.Node, stats StatsProvider) (Estimate, float64) {
+	switch op := n.(type) {
+	case *engine.Scan:
+		st, ok := stats(op.Dataset)
+		if !ok {
+			return Estimate{}, 40
+		}
+		return Estimate{Samples: st.Samples, Regions: st.Regions}, st.BytesPerRegion
+	case *engine.SelectOp:
+		in, bpr := estimateNode(op.Input, stats)
+		out := in
+		if op.Meta != nil {
+			out.Samples = scaleInt(in.Samples, selMetaPredicate)
+			out.Regions = scaleInt(in.Regions, selMetaPredicate)
+		}
+		if op.Region != nil {
+			out.Regions = scaleInt(out.Regions, selRegionPredicate)
+		}
+		return out, bpr
+	case *engine.ProjectOp:
+		in, bpr := estimateNode(op.Input, stats)
+		if op.Args.Regions != nil {
+			bpr *= 0.8
+		}
+		return in, bpr
+	case *engine.ExtendOp:
+		return estimateNode(op.Input, stats)
+	case *engine.MergeOp:
+		in, bpr := estimateNode(op.Input, stats)
+		groups := 1
+		if len(op.GroupBy) > 0 && in.Samples > 0 {
+			groups = intMax(in.Samples/4, 1)
+		}
+		return Estimate{Samples: groups, Regions: in.Regions}, bpr
+	case *engine.GroupOp:
+		return estimateNode(op.Input, stats)
+	case *engine.OrderOp:
+		in, bpr := estimateNode(op.Input, stats)
+		if op.Args.Top > 0 && op.Args.Top < in.Samples && in.Samples > 0 {
+			perSample := in.Regions / in.Samples
+			in.Regions = perSample * op.Args.Top
+			in.Samples = op.Args.Top
+		}
+		return in, bpr
+	case *engine.UnionOp:
+		l, lb := estimateNode(op.Left, stats)
+		r, rb := estimateNode(op.Right, stats)
+		return Estimate{Samples: l.Samples + r.Samples, Regions: l.Regions + r.Regions},
+			maxf(lb, rb)
+	case *engine.DifferenceOp:
+		l, lb := estimateNode(op.Left, stats)
+		return Estimate{Samples: l.Samples, Regions: scaleInt(l.Regions, selDifference)}, lb
+	case *engine.MapOp:
+		ref, rb := estimateNode(op.Ref, stats)
+		exp, _ := estimateNode(op.Exp, stats)
+		pairs := ref.Samples * exp.Samples
+		perRefSample := 0
+		if ref.Samples > 0 {
+			perRefSample = ref.Regions / ref.Samples
+		}
+		// MAP cardinality law: one sample per pair, each with the reference
+		// region count, plus the aggregate columns.
+		return Estimate{Samples: pairs, Regions: pairs * perRefSample}, rb + 8
+	case *engine.JoinOp:
+		l, lb := estimateNode(op.Left, stats)
+		r, rbr := estimateNode(op.Right, stats)
+		pairs := l.Samples * r.Samples
+		perLeftSample := 0
+		if l.Samples > 0 {
+			perLeftSample = l.Regions / l.Samples
+		}
+		return Estimate{
+			Samples: pairs,
+			Regions: scaleInt(pairs*perLeftSample, selJoinPerPair),
+		}, lb + rbr
+	case *engine.CoverOp:
+		in, bpr := estimateNode(op.Input, stats)
+		groups := 1
+		if len(op.Args.GroupBy) > 0 && in.Samples > 0 {
+			groups = intMax(in.Samples/4, 1)
+		}
+		return Estimate{Samples: groups, Regions: scaleInt(in.Regions, coverCompression)}, bpr
+	default:
+		return Estimate{}, 40
+	}
+}
+
+func scaleInt(n int, f float64) int {
+	v := int(float64(n) * f)
+	if n > 0 && v == 0 {
+		return 1
+	}
+	return v
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

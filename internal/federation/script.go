@@ -1,0 +1,19 @@
+package federation
+
+import (
+	"genogo/internal/engine"
+	"genogo/internal/gdm"
+	"genogo/internal/gmql"
+)
+
+// parseScript and evalScript isolate the gmql dependency of the naive
+// baseline so client.go reads as pure protocol code.
+
+func parseScript(script string) (*gmql.Program, error) {
+	return gmql.Parse(script)
+}
+
+func evalScript(p *gmql.Program, varName string, cfg engine.Config, cat engine.Catalog) (*gdm.Dataset, error) {
+	r := &gmql.Runner{Config: cfg, Catalog: cat}
+	return r.Eval(p, varName)
+}

@@ -1,0 +1,352 @@
+// Package federation implements the federated query processing vision of
+// Section 4.4 of the paper: each node owns its locally produced datasets;
+// GMQL queries move from a requesting node to a remote node, are locally
+// executed there, and only the (small) results travel back, with staged
+// retrieval so the requester controls staging resources and communication
+// load.
+//
+// The protocol is HTTP+JSON for control messages and the native GDM stream
+// encoding for dataset payloads, exactly the three interactions the paper
+// lists: dataset information, query compilation with result-size estimates,
+// and execution with controlled result transmission.
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"genogo/internal/engine"
+	"genogo/internal/formats"
+	"genogo/internal/gdm"
+	"genogo/internal/gmql"
+)
+
+// DatasetInfo describes one remote dataset: the metadata a requester needs
+// to locate data of interest and formalize queries against its schema.
+type DatasetInfo struct {
+	Name           string         `json:"name"`
+	Samples        int            `json:"samples"`
+	Regions        int            `json:"regions"`
+	EstimatedBytes int64          `json:"estimated_bytes"`
+	Schema         []SchemaField  `json:"schema"`
+	MetaAttributes map[string]int `json:"meta_attributes"` // attr -> #samples carrying it
+}
+
+// SchemaField is one schema entry on the wire.
+type SchemaField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// CompileRequest asks a node to compile (not run) a query.
+type CompileRequest struct {
+	Script string `json:"script"`
+	Var    string `json:"var"`
+}
+
+// CompileResponse reports compilation results, including the result size
+// estimate the paper's protocol requires.
+type CompileResponse struct {
+	OK       bool     `json:"ok"`
+	Error    string   `json:"error,omitempty"`
+	Explain  string   `json:"explain,omitempty"`
+	Estimate Estimate `json:"estimate"`
+}
+
+// QueryRequest asks a node to execute a query and stage the result.
+//
+// UserDataset optionally carries a private input dataset of the requester
+// (Section 4.3: "it will be possible to provide user input samples to the
+// services, whose privacy will be protected"): the GDM stream encoding of a
+// dataset that joins the node's catalog for this request only — it is never
+// listed, stored, or visible to other requests.
+type QueryRequest struct {
+	Script      string `json:"script"`
+	Var         string `json:"var"`
+	UserDataset string `json:"user_dataset,omitempty"` // formats.EncodeDataset output
+}
+
+// QueryResponse describes a staged result.
+type QueryResponse struct {
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+	ResultID string `json:"result_id,omitempty"`
+	Samples  int    `json:"samples"`
+	Regions  int    `json:"regions"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// Server is one federation node.
+type Server struct {
+	name    string
+	cfg     engine.Config
+	mu      sync.Mutex
+	data    map[string]*gdm.Dataset
+	staged  map[string]*gdm.Dataset
+	nextID  int
+	maxStay int // max staged results kept (limited staging)
+}
+
+// NewServer builds a node over its local datasets.
+func NewServer(name string, cfg engine.Config, datasets ...*gdm.Dataset) *Server {
+	s := &Server{
+		name: name, cfg: cfg,
+		data:   make(map[string]*gdm.Dataset),
+		staged: make(map[string]*gdm.Dataset),
+		// The paper calls for "a limited amount of staging at the sites
+		// hosting the services".
+		maxStay: 16,
+	}
+	for _, ds := range datasets {
+		s.data[ds.Name] = ds
+	}
+	return s
+}
+
+// AddDataset registers one more local dataset.
+func (s *Server) AddDataset(ds *gdm.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[ds.Name] = ds
+}
+
+// catalog implements engine.Catalog over the node's local data.
+func (s *Server) catalog() engine.MapCatalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(engine.MapCatalog, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Handler returns the node's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/datasets/", s.handleDatasetStream)
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/results/", s.handleResults)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) infos() []DatasetInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(s.data))
+	for _, ds := range s.data {
+		info := DatasetInfo{
+			Name:           ds.Name,
+			Samples:        len(ds.Samples),
+			Regions:        ds.NumRegions(),
+			EstimatedBytes: ds.EstimateBytes(),
+			MetaAttributes: make(map[string]int),
+		}
+		for _, f := range ds.Schema.Fields() {
+			info.Schema = append(info.Schema, SchemaField{Name: f.Name, Type: f.Type.String()})
+		}
+		for _, smp := range ds.Samples {
+			for _, attr := range smp.Meta.Attrs() {
+				info.MetaAttributes[attr]++
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	infos := s.infos()
+	// Deterministic order for clients and tests.
+	for i := 0; i < len(infos); i++ {
+		for j := i + 1; j < len(infos); j++ {
+			if infos[j].Name < infos[i].Name {
+				infos[i], infos[j] = infos[j], infos[i]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleDatasetStream serves GET /datasets/{name}/stream — the full-dataset
+// transfer a NAIVE (non-federated) architecture needs; the federated path
+// never uses it for large inputs. It is also what the Internet-of-Genomes
+// crawler downloads.
+func (s *Server) handleDatasetStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/datasets/")
+	name := strings.TrimSuffix(rest, "/stream")
+	if name == rest || name == "" {
+		http.Error(w, "want /datasets/{name}/stream", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	ds := s.data[name]
+	s.mu.Unlock()
+	if ds == nil {
+		http.Error(w, "unknown dataset", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gdm")
+	if err := formats.EncodeDataset(w, ds); err != nil {
+		// Headers already sent; nothing more to do than drop the conn.
+		return
+	}
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, CompileResponse{Error: err.Error()})
+		return
+	}
+	prog, err := gmql.Parse(req.Script)
+	if err != nil {
+		writeJSON(w, http.StatusOK, CompileResponse{Error: err.Error()})
+		return
+	}
+	plan := engine.Optimize(prog.Plan(req.Var))
+	est := EstimatePlan(plan, s.stats())
+	writeJSON(w, http.StatusOK, CompileResponse{
+		OK:       true,
+		Explain:  engine.Explain(plan),
+		Estimate: est,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
+		return
+	}
+	prog, err := gmql.Parse(req.Script)
+	if err != nil {
+		writeJSON(w, http.StatusOK, QueryResponse{Error: err.Error()})
+		return
+	}
+	catalog := s.catalog()
+	if req.UserDataset != "" {
+		// The private dataset lives only in this request's catalog copy.
+		user, err := formats.DecodeDataset(strings.NewReader(req.UserDataset))
+		if err != nil {
+			writeJSON(w, http.StatusOK, QueryResponse{Error: "user dataset: " + err.Error()})
+			return
+		}
+		catalog[user.Name] = user
+	}
+	runner := &gmql.Runner{Config: s.cfg, Catalog: catalog}
+	ds, err := runner.Eval(prog, req.Var)
+	if err != nil {
+		writeJSON(w, http.StatusOK, QueryResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	if len(s.staged) >= s.maxStay {
+		writeJSON(w, http.StatusServiceUnavailable,
+			QueryResponse{Error: "staging area full; release results first"})
+		s.mu.Unlock()
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("r%06d", s.nextID)
+	s.staged[id] = ds
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, QueryResponse{
+		OK: true, ResultID: id,
+		Samples: len(ds.Samples), Regions: ds.NumRegions(), Bytes: ds.EstimateBytes(),
+	})
+}
+
+// handleResults serves staged results:
+//
+//	GET    /results/{id}?start=S&count=N   stream samples [S, S+N)
+//	DELETE /results/{id}                   release the staging
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/results/")
+	if id == "" {
+		http.Error(w, "want /results/{id}", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	ds := s.staged[id]
+	s.mu.Unlock()
+	switch r.Method {
+	case http.MethodDelete:
+		s.mu.Lock()
+		delete(s.staged, id)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		if ds == nil {
+			http.Error(w, "unknown result", http.StatusNotFound)
+			return
+		}
+		start, count := 0, len(ds.Samples)
+		if v := r.URL.Query().Get("start"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad start", http.StatusBadRequest)
+				return
+			}
+			start = n
+		}
+		if v := r.URL.Query().Get("count"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad count", http.StatusBadRequest)
+				return
+			}
+			count = n
+		}
+		if start > len(ds.Samples) {
+			start = len(ds.Samples)
+		}
+		end := start + count
+		if end > len(ds.Samples) {
+			end = len(ds.Samples)
+		}
+		chunk := gdm.NewDataset(ds.Name, ds.Schema)
+		chunk.Samples = ds.Samples[start:end]
+		w.Header().Set("Content-Type", "application/x-gdm")
+		w.Header().Set("X-Total-Samples", strconv.Itoa(len(ds.Samples)))
+		_ = formats.EncodeDataset(w, chunk)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// StagedCount reports how many results are currently staged (for tests and
+// capacity monitoring).
+func (s *Server) StagedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.staged)
+}

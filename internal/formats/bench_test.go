@@ -1,0 +1,78 @@
+package formats
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"genogo/internal/gdm"
+	"genogo/internal/synth"
+)
+
+// buildBEDText renders n BED6 lines for parser throughput benches.
+func buildBEDText(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "chr%d\t%d\t%d\tpeak%d\t%d\t+\n", i%22+1, i*100, i*100+250, i, i%1000)
+	}
+	return sb.String()
+}
+
+func BenchmarkReadBED(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("lines=%d", n), func(b *testing.B) {
+			text := buildBEDText(n)
+			b.SetBytes(int64(len(text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ReadBED("s", strings.NewReader(text)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeDecodeDataset(b *testing.B) {
+	g := synth.New(1)
+	ds := g.Encode(synth.EncodeOptions{Samples: 20, MeanPeaks: 500})
+	var buf bytes.Buffer
+	if err := EncodeDataset(&buf, ds); err != nil {
+		b.Fatal(err)
+	}
+	payload := buf.Bytes()
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			var out bytes.Buffer
+			out.Grow(len(payload))
+			if err := EncodeDataset(&out, ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeDataset(bytes.NewReader(payload)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWriteRegions(b *testing.B) {
+	s := gdm.NewSample("x")
+	for i := int64(0); i < 50000; i++ {
+		s.AddRegion(gdm.NewRegion("chr1", i*10, i*10+100, gdm.StrandPlus,
+			gdm.Float(0.001), gdm.Float(3.5)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteRegions(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package formats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"genogo/internal/gdm"
+)
+
+// The native GDM on-disk layout mirrors the repository layout of the GMQL
+// system: a dataset is a directory holding
+//
+//	schema.txt          one "name<TAB>type" line per variable attribute
+//	<sample>.gdm        regions: chrom<TAB>start<TAB>stop<TAB>strand<TAB>values...
+//	<sample>.gdm.meta   metadata: attribute<TAB>value lines
+//
+// plus a single-stream encoding (EncodeDataset/DecodeDataset) used by the
+// federation protocol and the Internet-of-Genomes crawler to move datasets
+// over the wire.
+
+// WriteSchema writes a schema as schema.txt lines.
+func WriteSchema(w io.Writer, s *gdm.Schema) error {
+	for _, f := range s.Fields() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", f.Name, f.Type); err != nil {
+			return fmt.Errorf("schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSchema parses schema.txt lines.
+func ReadSchema(r io.Reader) (*gdm.Schema, error) {
+	var fields []gdm.Field
+	ls := newLineScanner(r)
+	for ls.next() {
+		parts := splitTabsOrSpaces(ls.text)
+		if len(parts) != 2 {
+			return nil, ls.errf("schema: want 'name type', have %q", ls.text)
+		}
+		k, err := gdm.ParseKind(parts[1])
+		if err != nil {
+			return nil, ls.errf("schema: %v", err)
+		}
+		fields = append(fields, gdm.Field{Name: parts[0], Type: k})
+	}
+	if err := ls.err(); err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	return gdm.NewSchema(fields...)
+}
+
+// WriteRegions writes a sample's regions in the native TSV form.
+func WriteRegions(w io.Writer, s *gdm.Sample) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.Regions {
+		r := &s.Regions[i]
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%s", r.Chrom, r.Start, r.Stop, r.Strand)
+		for _, v := range r.Values {
+			bw.WriteByte('\t')
+			bw.WriteString(v.String())
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("regions: %w", err)
+	}
+	return nil
+}
+
+// ReadRegions parses native-form regions into the sample, validating against
+// the schema.
+func ReadRegions(r io.Reader, schema *gdm.Schema, s *gdm.Sample) error {
+	ls := newLineScanner(r)
+	for ls.next() {
+		fields := strings.Split(ls.text, "\t")
+		if len(fields) != 4+schema.Len() {
+			return ls.errf("regions: want %d fields for schema %s, have %d",
+				4+schema.Len(), schema, len(fields))
+		}
+		start, err := parseInt64(fields[1])
+		if err != nil {
+			return ls.errf("regions: bad start %q", fields[1])
+		}
+		stop, err := parseInt64(fields[2])
+		if err != nil {
+			return ls.errf("regions: bad stop %q", fields[2])
+		}
+		strand, err := gdm.ParseStrand(fields[3])
+		if err != nil {
+			return ls.errf("regions: %v", err)
+		}
+		vals := make([]gdm.Value, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			v, err := gdm.ParseValue(schema.Field(i).Type, fields[4+i])
+			if err != nil {
+				return ls.errf("regions: attribute %q: %v", schema.Field(i).Name, err)
+			}
+			vals[i] = v
+		}
+		s.AddRegion(gdm.Region{Chrom: fields[0], Start: start, Stop: stop, Strand: strand, Values: vals})
+	}
+	if err := ls.err(); err != nil {
+		return fmt.Errorf("regions: %w", err)
+	}
+	return nil
+}
+
+// WriteMeta writes sample metadata as attribute<TAB>value lines.
+func WriteMeta(w io.Writer, md *gdm.Metadata) error {
+	for _, p := range md.Pairs() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", p[0], p[1]); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMeta parses attribute<TAB>value lines.
+func ReadMeta(r io.Reader) (*gdm.Metadata, error) {
+	md := gdm.NewMetadata()
+	ls := newLineScanner(r)
+	for ls.next() {
+		parts := strings.SplitN(ls.text, "\t", 2)
+		if len(parts) != 2 {
+			return nil, ls.errf("meta: want 'attribute<TAB>value', have %q", ls.text)
+		}
+		md.Add(parts[0], parts[1])
+	}
+	if err := ls.err(); err != nil {
+		return nil, fmt.Errorf("meta: %w", err)
+	}
+	return md, nil
+}
+
+// WriteDataset materializes a dataset into dir using the native layout,
+// creating the directory as needed. Existing files of a previous
+// materialization with the same sample IDs are overwritten.
+func WriteDataset(dir string, ds *gdm.Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	sf, err := os.Create(filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	if err := WriteSchema(sf, ds.Schema); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	for _, s := range ds.Samples {
+		if err := writeFileWith(filepath.Join(dir, s.ID+".gdm"), func(w io.Writer) error {
+			return WriteRegions(w, s)
+		}); err != nil {
+			return fmt.Errorf("dataset %s sample %s: %w", ds.Name, s.ID, err)
+		}
+		if err := writeFileWith(filepath.Join(dir, s.ID+".gdm.meta"), func(w io.Writer) error {
+			return WriteMeta(w, s.Meta)
+		}); err != nil {
+			return fmt.Errorf("dataset %s sample %s: %w", ds.Name, s.ID, err)
+		}
+	}
+	return nil
+}
+
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDataset loads a native-layout dataset directory. The dataset name is
+// the directory base name.
+func ReadDataset(dir string) (*gdm.Dataset, error) {
+	sf, err := os.Open(filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", dir, err)
+	}
+	schema, err := ReadSchema(sf)
+	sf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", dir, err)
+	}
+	ds := gdm.NewDataset(filepath.Base(dir), schema)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".gdm") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".gdm"))
+		}
+	}
+	sort.Strings(names)
+	for _, id := range names {
+		s := gdm.NewSample(id)
+		rf, err := os.Open(filepath.Join(dir, id+".gdm"))
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", dir, err)
+		}
+		err = ReadRegions(rf, schema, s)
+		rf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s sample %s: %w", dir, id, err)
+		}
+		if mf, err := os.Open(filepath.Join(dir, id+".gdm.meta")); err == nil {
+			md, merr := ReadMeta(mf)
+			mf.Close()
+			if merr != nil {
+				return nil, fmt.Errorf("dataset %s sample %s: %w", dir, id, merr)
+			}
+			s.Meta = md
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("dataset %s sample %s: %w", dir, id, err)
+		}
+		s.SortRegions()
+		if err := ds.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// EncodeDataset writes the whole dataset as one self-describing stream: the
+// wire format of the federation protocol and the genome-net crawler.
+func EncodeDataset(w io.Writer, ds *gdm.Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "GDMv1\t%s\t%d\n", ds.Name, len(ds.Samples))
+	fmt.Fprintf(bw, "SCHEMA\t%d\n", ds.Schema.Len())
+	if err := WriteSchema(bw, ds.Schema); err != nil {
+		return err
+	}
+	for _, s := range ds.Samples {
+		fmt.Fprintf(bw, "SAMPLE\t%s\t%d\t%d\n", s.ID, s.Meta.Len(), len(s.Regions))
+		if err := WriteMeta(bw, s.Meta); err != nil {
+			return err
+		}
+		if err := WriteRegions(bw, s); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("encode dataset %s: %w", ds.Name, err)
+	}
+	return nil
+}
+
+// DecodeDataset reads a stream produced by EncodeDataset.
+func DecodeDataset(r io.Reader) (*gdm.Dataset, error) {
+	br := bufio.NewReader(r)
+	readLine := func() (string, error) {
+		line, err := br.ReadString('\n')
+		if err != nil && (err != io.EOF || line == "") {
+			return "", err
+		}
+		return strings.TrimRight(line, "\n"), nil
+	}
+	header, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	hp := strings.Split(header, "\t")
+	if len(hp) != 3 || hp[0] != "GDMv1" {
+		return nil, fmt.Errorf("decode dataset: bad header %q", header)
+	}
+	var nSamples int
+	if _, err := fmt.Sscanf(hp[2], "%d", &nSamples); err != nil {
+		return nil, fmt.Errorf("decode dataset: bad sample count %q", hp[2])
+	}
+	schemaHdr, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	var nFields int
+	if _, err := fmt.Sscanf(schemaHdr, "SCHEMA\t%d", &nFields); err != nil {
+		return nil, fmt.Errorf("decode dataset: bad schema header %q", schemaHdr)
+	}
+	var schemaLines strings.Builder
+	for i := 0; i < nFields; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("decode dataset: schema: %w", err)
+		}
+		schemaLines.WriteString(line)
+		schemaLines.WriteByte('\n')
+	}
+	schema, err := ReadSchema(strings.NewReader(schemaLines.String()))
+	if err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	ds := gdm.NewDataset(hp[1], schema)
+	for si := 0; si < nSamples; si++ {
+		sh, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("decode dataset: sample header: %w", err)
+		}
+		parts := strings.Split(sh, "\t")
+		if len(parts) != 4 || parts[0] != "SAMPLE" {
+			return nil, fmt.Errorf("decode dataset: bad sample header %q", sh)
+		}
+		var nMeta, nRegions int
+		if _, err := fmt.Sscanf(parts[2], "%d", &nMeta); err != nil {
+			return nil, fmt.Errorf("decode dataset: bad meta count %q", parts[2])
+		}
+		if _, err := fmt.Sscanf(parts[3], "%d", &nRegions); err != nil {
+			return nil, fmt.Errorf("decode dataset: bad region count %q", parts[3])
+		}
+		s := gdm.NewSample(parts[1])
+		var metaLines strings.Builder
+		for i := 0; i < nMeta; i++ {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("decode dataset: meta: %w", err)
+			}
+			metaLines.WriteString(line)
+			metaLines.WriteByte('\n')
+		}
+		md, err := ReadMeta(strings.NewReader(metaLines.String()))
+		if err != nil {
+			return nil, fmt.Errorf("decode dataset sample %s: %w", s.ID, err)
+		}
+		s.Meta = md
+		var regionLines strings.Builder
+		for i := 0; i < nRegions; i++ {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("decode dataset: regions: %w", err)
+			}
+			regionLines.WriteString(line)
+			regionLines.WriteByte('\n')
+		}
+		if err := ReadRegions(strings.NewReader(regionLines.String()), schema, s); err != nil {
+			return nil, fmt.Errorf("decode dataset sample %s: %w", s.ID, err)
+		}
+		if err := ds.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

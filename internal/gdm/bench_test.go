@@ -1,0 +1,135 @@
+package gdm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkValueTaggedStruct measures the tagged-struct value representation
+// (DESIGN.md decision 4): accumulate over a large value slice without any
+// per-value heap boxing.
+func BenchmarkValueTaggedStruct(b *testing.B) {
+	vals := make([]Value, 1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		switch i % 3 {
+		case 0:
+			vals[i] = Int(rng.Int63n(1000))
+		case 1:
+			vals[i] = Float(rng.Float64())
+		default:
+			vals[i] = Null()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, v := range vals {
+			if f, ok := v.AsFloat(); ok {
+				sum += f
+			}
+		}
+		_ = sum
+	}
+	b.ReportAllocs()
+}
+
+// boxedValue is the interface-boxed alternative, for comparison.
+type boxedValue interface{ asFloat() (float64, bool) }
+
+type boxedInt int64
+type boxedFloat float64
+
+func (v boxedInt) asFloat() (float64, bool)   { return float64(v), true }
+func (v boxedFloat) asFloat() (float64, bool) { return float64(v), true }
+
+func BenchmarkValueInterfaceBoxed(b *testing.B) {
+	vals := make([]boxedValue, 1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		switch i % 3 {
+		case 0:
+			vals[i] = boxedInt(rng.Int63n(1000))
+		case 1:
+			vals[i] = boxedFloat(rng.Float64())
+		default:
+			vals[i] = nil
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, v := range vals {
+			if v == nil {
+				continue
+			}
+			if f, ok := v.asFloat(); ok {
+				sum += f
+			}
+		}
+		_ = sum
+	}
+	b.ReportAllocs()
+}
+
+func BenchmarkSortRegions(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			chroms := []string{"chr1", "chr2", "chr10", "chrX"}
+			src := make([]Region, n)
+			for i := range src {
+				start := rng.Int63n(1_000_000)
+				src[i] = NewRegion(chroms[rng.Intn(len(chroms))], start, start+100, StrandNone)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := &Sample{ID: "x", Regions: append([]Region(nil), src...)}
+				s.SortRegions()
+			}
+		})
+	}
+}
+
+func BenchmarkCompareChrom(b *testing.B) {
+	names := []string{"chr1", "chr10", "chr2", "chrX", "chrY", "chrM", "scaffold_77"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range names {
+			for _, c := range names {
+				CompareChrom(a, c)
+			}
+		}
+	}
+}
+
+func BenchmarkDeriveID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DeriveID("map", "sample-one", "sample-two")
+	}
+}
+
+// Construction-side comparison: building values is where boxing hurts —
+// every boxed value is a heap object the GC must track.
+func BenchmarkValueConstructTagged(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vals := make([]Value, 100_000)
+		for j := range vals {
+			vals[j] = Float(float64(j))
+		}
+		_ = vals
+	}
+}
+
+func BenchmarkValueConstructBoxed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vals := make([]boxedValue, 100_000)
+		for j := range vals {
+			vals[j] = boxedFloat(float64(j))
+		}
+		_ = vals
+	}
+}

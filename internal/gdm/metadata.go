@@ -1,0 +1,184 @@
+package gdm
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metadata is the attribute-value half of GDM: arbitrary, semi-structured
+// attribute-value pairs describing the region-invariant properties of a
+// sample (cell line, tissue, antibody, experimental condition, phenotype
+// traits...). An attribute may carry multiple values, as is common in
+// LIMS exports; pairs are modelled as a multimap keyed by attribute name.
+//
+// In the paper metadata are triples (id, attribute, value); the sample ID is
+// factored out here because Metadata always lives inside a Sample.
+type Metadata struct {
+	m map[string][]string
+}
+
+// NewMetadata returns empty metadata.
+func NewMetadata() *Metadata { return &Metadata{m: make(map[string][]string)} }
+
+// MetadataFrom builds metadata from a plain attribute->value map, for tests
+// and literals.
+func MetadataFrom(kv map[string]string) *Metadata {
+	md := NewMetadata()
+	for k, v := range kv {
+		md.Add(k, v)
+	}
+	return md
+}
+
+// Add appends a value for the attribute, skipping exact duplicates.
+func (md *Metadata) Add(attr, value string) {
+	if md.m == nil {
+		md.m = make(map[string][]string)
+	}
+	for _, v := range md.m[attr] {
+		if v == value {
+			return
+		}
+	}
+	md.m[attr] = append(md.m[attr], value)
+}
+
+// Set replaces every value of the attribute with the single given value.
+func (md *Metadata) Set(attr, value string) {
+	if md.m == nil {
+		md.m = make(map[string][]string)
+	}
+	md.m[attr] = []string{value}
+}
+
+// Delete removes the attribute entirely.
+func (md *Metadata) Delete(attr string) {
+	delete(md.m, attr)
+}
+
+// Values returns the values of an attribute (nil when absent). The returned
+// slice must not be modified.
+func (md *Metadata) Values(attr string) []string {
+	if md == nil {
+		return nil
+	}
+	return md.m[attr]
+}
+
+// First returns the first value of the attribute, or "" when absent.
+func (md *Metadata) First(attr string) string {
+	vs := md.Values(attr)
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// Has reports whether the attribute is present.
+func (md *Metadata) Has(attr string) bool {
+	return md != nil && len(md.m[attr]) > 0
+}
+
+// Matches reports whether the attribute carries the given value
+// (case-insensitive, the convention of GMQL metadata predicates).
+func (md *Metadata) Matches(attr, value string) bool {
+	for _, v := range md.Values(attr) {
+		if strings.EqualFold(v, value) {
+			return true
+		}
+	}
+	return false
+}
+
+// Attrs returns the attribute names in sorted order.
+func (md *Metadata) Attrs() []string {
+	if md == nil {
+		return nil
+	}
+	out := make([]string, 0, len(md.m))
+	for k := range md.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of (attribute, value) pairs.
+func (md *Metadata) Len() int {
+	if md == nil {
+		return 0
+	}
+	n := 0
+	for _, vs := range md.m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Pairs returns every (attribute, value) pair in sorted order, the triples of
+// Fig. 2 minus the sample ID.
+func (md *Metadata) Pairs() [][2]string {
+	if md == nil {
+		return nil
+	}
+	out := make([][2]string, 0, md.Len())
+	for _, attr := range md.Attrs() {
+		vs := append([]string(nil), md.m[attr]...)
+		sort.Strings(vs)
+		for _, v := range vs {
+			out = append(out, [2]string{attr, v})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (md *Metadata) Clone() *Metadata {
+	out := NewMetadata()
+	if md == nil {
+		return out
+	}
+	for k, vs := range md.m {
+		out.m[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// MergeInto adds every pair of md into dst, prefixing attribute names with
+// prefix (plus ".") when non-empty — how GMQL binary operators combine the
+// metadata of contributing samples while tracing provenance.
+func (md *Metadata) MergeInto(dst *Metadata, prefix string) {
+	if md == nil {
+		return
+	}
+	for k, vs := range md.m {
+		name := k
+		if prefix != "" {
+			name = prefix + "." + k
+		}
+		for _, v := range vs {
+			dst.Add(name, v)
+		}
+	}
+}
+
+// MatchText reports whether any attribute name or value contains the keyword
+// (case-insensitive substring match) — the primitive behind metadata keyword
+// search (Sections 4.3 and 4.5).
+func (md *Metadata) MatchText(keyword string) bool {
+	if md == nil {
+		return false
+	}
+	kw := strings.ToLower(keyword)
+	for k, vs := range md.m {
+		if strings.Contains(strings.ToLower(k), kw) {
+			return true
+		}
+		for _, v := range vs {
+			if strings.Contains(strings.ToLower(v), kw) {
+				return true
+			}
+		}
+	}
+	return false
+}

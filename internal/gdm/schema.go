@@ -1,0 +1,242 @@
+package gdm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Names of the fixed GDM attributes. Every region has them; schema variable
+// attributes may not reuse them. Several aliases used by common formats are
+// also reserved so that predicates like "start > 100" resolve unambiguously.
+const (
+	FieldChrom  = "chr"
+	FieldLeft   = "left"
+	FieldRight  = "right"
+	FieldStrand = "strand"
+)
+
+// fixedAliases maps every accepted spelling of a fixed attribute to its
+// canonical name.
+var fixedAliases = map[string]string{
+	"chr": FieldChrom, "chrom": FieldChrom, "chromosome": FieldChrom, "seqname": FieldChrom,
+	"left": FieldLeft, "start": FieldLeft, "begin": FieldLeft,
+	"right": FieldRight, "stop": FieldRight, "end": FieldRight,
+	"strand": FieldStrand,
+}
+
+// CanonicalFixed resolves an attribute name to the canonical fixed-attribute
+// name, or returns ("", false) when the name is a variable attribute.
+func CanonicalFixed(name string) (string, bool) {
+	c, ok := fixedAliases[strings.ToLower(name)]
+	return c, ok
+}
+
+// Field is one variable attribute of a region schema: a name and a kind.
+type Field struct {
+	Name string
+	Type Kind
+}
+
+// Schema is the normalized region schema of a dataset: the list of typed
+// variable attributes that follow the fixed coordinate attributes. A schema
+// is immutable after construction; operators derive new schemas.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from the given fields, rejecting duplicate or
+// reserved names.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{fields: make([]Field, 0, len(fields)), index: make(map[string]int, len(fields))}
+	for _, f := range fields {
+		if err := s.append(f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known field lists; it panics on the
+// programming errors NewSchema reports.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Schema) append(f Field) error {
+	if f.Name == "" {
+		return fmt.Errorf("gdm: schema field with empty name")
+	}
+	if _, fixed := CanonicalFixed(f.Name); fixed {
+		return fmt.Errorf("gdm: schema field %q shadows a fixed attribute", f.Name)
+	}
+	if _, dup := s.index[f.Name]; dup {
+		return fmt.Errorf("gdm: duplicate schema field %q", f.Name)
+	}
+	s.index[f.Name] = len(s.fields)
+	s.fields = append(s.fields, f)
+	return nil
+}
+
+// Len returns the number of variable attributes.
+func (s *Schema) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.fields)
+}
+
+// Field returns the i-th variable attribute.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the variable attribute list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// Index returns the position of the named variable attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the variable attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical fields in the same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Project derives a schema keeping only the named fields (in the given
+// order) and returns the source positions of each kept field.
+func (s *Schema) Project(names ...string) (*Schema, []int, error) {
+	fields := make([]Field, 0, len(names))
+	src := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := s.Index(n)
+		if !ok {
+			return nil, nil, fmt.Errorf("gdm: project: unknown attribute %q in schema %s", n, s)
+		}
+		fields = append(fields, s.fields[i])
+		src = append(src, i)
+	}
+	out, err := NewSchema(fields...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, src, nil
+}
+
+// Extend derives a schema with an extra field appended. If a field with the
+// same name already exists it is replaced in place (GMQL PROJECT/MAP
+// semantics for recomputed attributes) and replaced reports true.
+func (s *Schema) Extend(f Field) (out *Schema, pos int, replaced bool, err error) {
+	if i, ok := s.Index(f.Name); ok {
+		fields := s.Fields()
+		fields[i] = f
+		ns, err := NewSchema(fields...)
+		return ns, i, true, err
+	}
+	fields := append(s.Fields(), f)
+	ns, err := NewSchema(fields...)
+	return ns, len(fields) - 1, false, err
+}
+
+// MergedSchema is the result of merging two schemas: the combined schema and,
+// for each operand, the position in the merged value list where its
+// attributes start.
+type MergedSchema struct {
+	Schema     *Schema
+	LeftStart  int
+	RightStart int
+}
+
+// MergeSchemas implements GDM schema merging (Section 2 of the paper): the
+// fixed attributes are in common and the variable attributes are
+// concatenated. Name clashes between the operands are resolved by prefixing
+// the clashing right-operand attribute with rightTag (or "right" when empty),
+// preserving interoperability across heterogeneous processed data.
+func MergeSchemas(left, right *Schema, rightTag string) (MergedSchema, error) {
+	if rightTag == "" {
+		rightTag = "right"
+	}
+	fields := left.Fields()
+	taken := make(map[string]bool, left.Len()+right.Len())
+	for _, f := range fields {
+		taken[f.Name] = true
+	}
+	for _, f := range right.Fields() {
+		name := f.Name
+		for i := 0; taken[name]; i++ {
+			if i == 0 {
+				name = rightTag + "." + f.Name
+			} else {
+				name = fmt.Sprintf("%s.%s.%d", rightTag, f.Name, i)
+			}
+		}
+		taken[name] = true
+		fields = append(fields, Field{Name: name, Type: f.Type})
+	}
+	s, err := NewSchema(fields...)
+	if err != nil {
+		return MergedSchema{}, err
+	}
+	return MergedSchema{Schema: s, LeftStart: 0, RightStart: left.Len()}, nil
+}
+
+// UnionSchemas computes the schema for GMQL UNION: the result has the left
+// operand's schema; right-operand samples are re-laid-out to it by matching
+// attribute names, with unmatched attributes going to NULL. The returned
+// mapping gives, for each left-schema position, the right-schema position to
+// read or -1 for NULL.
+func UnionSchemas(left, right *Schema) (*Schema, []int) {
+	mapping := make([]int, left.Len())
+	for i, f := range left.fields {
+		if j, ok := right.Index(f.Name); ok && right.fields[j].Type == f.Type {
+			mapping[i] = j
+		} else {
+			mapping[i] = -1
+		}
+	}
+	return left, mapping
+}

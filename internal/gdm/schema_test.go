@@ -1,0 +1,164 @@
+package gdm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema(Field{"p_value", KindFloat}, Field{"name", KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("name"); !ok || i != 1 {
+		t.Errorf("Index(name) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) found")
+	}
+	if got := s.String(); got != "(p_value float, name string)" {
+		t.Errorf("String = %q", got)
+	}
+	if names := s.Names(); names[0] != "p_value" || names[1] != "name" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestNewSchemaRejections(t *testing.T) {
+	if _, err := NewSchema(Field{"a", KindInt}, Field{"a", KindFloat}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	for _, reserved := range []string{"chr", "Chrom", "start", "left", "stop", "right", "END", "strand"} {
+		if _, err := NewSchema(Field{reserved, KindInt}); err == nil {
+			t.Errorf("reserved name %q accepted", reserved)
+		}
+	}
+	if _, err := NewSchema(Field{"", KindInt}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on bad schema")
+		}
+	}()
+	MustSchema(Field{"chr", KindString})
+}
+
+func TestCanonicalFixed(t *testing.T) {
+	for in, want := range map[string]string{
+		"chr": FieldChrom, "CHROM": FieldChrom, "seqname": FieldChrom,
+		"start": FieldLeft, "left": FieldLeft, "begin": FieldLeft,
+		"stop": FieldRight, "end": FieldRight, "right": FieldRight,
+		"strand": FieldStrand,
+	} {
+		got, ok := CanonicalFixed(in)
+		if !ok || got != want {
+			t.Errorf("CanonicalFixed(%q) = %q,%v; want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := CanonicalFixed("p_value"); ok {
+		t.Error("p_value resolved as fixed")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := MustSchema(Field{"a", KindInt}, Field{"b", KindFloat}, Field{"c", KindString})
+	p, src, err := s.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Field(0).Name != "c" || p.Field(1).Name != "a" {
+		t.Errorf("projected schema = %s", p)
+	}
+	if src[0] != 2 || src[1] != 0 {
+		t.Errorf("src = %v", src)
+	}
+	if _, _, err := s.Project("zzz"); err == nil || !strings.Contains(err.Error(), "zzz") {
+		t.Errorf("project unknown: %v", err)
+	}
+}
+
+func TestSchemaExtend(t *testing.T) {
+	s := MustSchema(Field{"a", KindInt})
+	out, pos, replaced, err := s.Extend(Field{"b", KindFloat})
+	if err != nil || replaced || pos != 1 || out.Len() != 2 {
+		t.Fatalf("Extend new: %v pos=%d replaced=%v", err, pos, replaced)
+	}
+	out2, pos2, replaced2, err := out.Extend(Field{"a", KindFloat})
+	if err != nil || !replaced2 || pos2 != 0 || out2.Len() != 2 {
+		t.Fatalf("Extend replace: %v pos=%d replaced=%v", err, pos2, replaced2)
+	}
+	if out2.Field(0).Type != KindFloat {
+		t.Error("replaced field kept old type")
+	}
+	if s.Len() != 1 {
+		t.Error("Extend mutated the source schema")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Field{"a", KindInt}, Field{"b", KindFloat})
+	b := MustSchema(Field{"a", KindInt}, Field{"b", KindFloat})
+	c := MustSchema(Field{"a", KindInt}, Field{"b", KindString})
+	d := MustSchema(Field{"a", KindInt})
+	if !a.Equal(b) {
+		t.Error("identical schemas unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different schemas equal")
+	}
+}
+
+func TestMergeSchemas(t *testing.T) {
+	left := MustSchema(Field{"p_value", KindFloat}, Field{"score", KindInt})
+	right := MustSchema(Field{"score", KindInt}, Field{"fold", KindFloat})
+	m, err := MergeSchemas(left, right, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Schema.Names()
+	want := []string{"p_value", "score", "exp.score", "fold"}
+	if len(names) != len(want) {
+		t.Fatalf("merged names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("merged[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if m.LeftStart != 0 || m.RightStart != 2 {
+		t.Errorf("starts = %d,%d", m.LeftStart, m.RightStart)
+	}
+}
+
+func TestMergeSchemasDefaultTagAndDoubleClash(t *testing.T) {
+	left := MustSchema(Field{"x", KindInt}, Field{"right.x", KindInt})
+	right := MustSchema(Field{"x", KindInt})
+	m, err := MergeSchemas(left, right, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "x" clashes, "right.x" also clashes, so numbered suffix kicks in.
+	if got := m.Schema.Names()[2]; got != "right.x.1" {
+		t.Errorf("double clash resolved to %q", got)
+	}
+}
+
+func TestUnionSchemas(t *testing.T) {
+	left := MustSchema(Field{"a", KindInt}, Field{"b", KindFloat}, Field{"c", KindString})
+	right := MustSchema(Field{"b", KindFloat}, Field{"c", KindInt}, Field{"a", KindInt})
+	out, mapping := UnionSchemas(left, right)
+	if !out.Equal(left) {
+		t.Error("union schema is not the left schema")
+	}
+	// a matches at 2, b matches at 0, c has wrong type -> -1.
+	if mapping[0] != 2 || mapping[1] != 0 || mapping[2] != -1 {
+		t.Errorf("mapping = %v", mapping)
+	}
+}

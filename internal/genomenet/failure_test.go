@@ -1,0 +1,94 @@
+package genomenet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"genogo/internal/synth"
+)
+
+// sabotage wraps a host handler and breaks a chosen endpoint.
+func sabotage(inner http.Handler, prefix, mode string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, prefix) {
+			switch mode {
+			case "status":
+				http.Error(w, "injected", http.StatusInternalServerError)
+				return
+			case "garbage":
+				_, _ = w.Write([]byte("{{{{not json or gdm"))
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func publishingHost(t *testing.T) *Host {
+	t.Helper()
+	g := synth.New(13)
+	h := NewHost("lab")
+	ds := g.Encode(synth.EncodeOptions{Samples: 4, MeanPeaks: 10})
+	ds.Name = "CHIP"
+	h.Publish(ds, true)
+	return h
+}
+
+func TestCrawlSurfacesManifestFailure(t *testing.T) {
+	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/manifest", "status"))
+	defer ts.Close()
+	svc := NewSearchService(nil)
+	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err == nil {
+		t.Fatal("broken manifest swallowed")
+	}
+}
+
+func TestCrawlSurfacesGarbageManifest(t *testing.T) {
+	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/manifest", "garbage"))
+	defer ts.Close()
+	svc := NewSearchService(nil)
+	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err == nil {
+		t.Fatal("garbage manifest decoded")
+	}
+}
+
+func TestCrawlSurfacesMetaFailure(t *testing.T) {
+	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/meta/", "status"))
+	defer ts.Close()
+	svc := NewSearchService(nil)
+	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err == nil {
+		t.Fatal("broken metadata endpoint swallowed")
+	}
+}
+
+func TestCrawlSurfacesBodyFailure(t *testing.T) {
+	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/data/", "garbage"))
+	defer ts.Close()
+	svc := NewSearchService(nil)
+	// Metadata-only crawls never touch /data and must succeed.
+	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+		t.Fatalf("metadata-only crawl failed: %v", err)
+	}
+	// Body-fetching crawls fail loudly.
+	svc2 := NewSearchService(nil)
+	if err := svc2.Crawl([]string{ts.URL}, CrawlOptions{FetchBodies: 1}, nil); err == nil {
+		t.Fatal("garbage dataset body decoded")
+	}
+}
+
+func TestHostUnknownPaths(t *testing.T) {
+	ts := httptest.NewServer(publishingHost(t).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/meta/NOPE", "/data/NOPE"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s -> %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,514 @@
+// Package genomenet implements the paper's most far-fetching vision
+// (Section 4.5): an Internet of Genomes. Research centers publish links to
+// their experimental data with metadata under a simple protocol; a third
+// party runs crawlers that download the metadata (and, non-intrusively,
+// some datasets); a search service indexes everything and answers keyword
+// queries with result snippets, plus feature-based region search where
+// features are computed on demand and results ranked by them.
+package genomenet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"genogo/internal/engine"
+	"genogo/internal/expr"
+	"genogo/internal/formats"
+	"genogo/internal/gdm"
+	"genogo/internal/meta"
+	"genogo/internal/ontology"
+)
+
+// ManifestEntry is one published link: the unit of the publishing protocol.
+type ManifestEntry struct {
+	Name    string `json:"name"`
+	MetaURL string `json:"meta_url"`
+	DataURL string `json:"data_url"`
+	Public  bool   `json:"public"` // visible to crawlers
+	Samples int    `json:"samples"`
+	Regions int    `json:"regions"`
+	// Fingerprint changes whenever the dataset's content changes, letting
+	// crawlers skip unchanged links on re-crawls (polite incremental
+	// crawling).
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Host is a research center's publishing endpoint. It follows the protocol
+// the paper prescribes: publish a link to genomic data in its native format
+// with suitable metadata, optionally making the link public (visible to
+// crawler visits).
+type Host struct {
+	Name string
+	mu   sync.Mutex
+	data map[string]*gdm.Dataset
+	pub  map[string]bool
+}
+
+// NewHost builds an empty host.
+func NewHost(name string) *Host {
+	return &Host{Name: name, data: make(map[string]*gdm.Dataset), pub: make(map[string]bool)}
+}
+
+// Publish registers a dataset; public links are visible to crawlers,
+// private ones are served only to clients that already know the URL
+// (reviewers with a download link, in the paper's telling).
+func (h *Host) Publish(ds *gdm.Dataset, public bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.data[ds.Name] = ds
+	h.pub[ds.Name] = public
+}
+
+// Handler serves the publishing protocol:
+//
+//	GET /manifest            JSON list of PUBLIC links
+//	GET /meta/{name}         metadata of every sample (crawlers index this)
+//	GET /data/{name}         full dataset stream (native format)
+func (h *Host) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		entries := make([]ManifestEntry, 0, len(h.data))
+		for name, ds := range h.data {
+			if !h.pub[name] {
+				continue
+			}
+			entries = append(entries, ManifestEntry{
+				Name:        name,
+				MetaURL:     "/meta/" + name,
+				DataURL:     "/data/" + name,
+				Public:      true,
+				Samples:     len(ds.Samples),
+				Regions:     ds.NumRegions(),
+				Fingerprint: fingerprint(ds),
+			})
+		}
+		h.mu.Unlock()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(entries)
+	})
+	mux.HandleFunc("/meta/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/meta/")
+		h.mu.Lock()
+		ds := h.data[name]
+		h.mu.Unlock()
+		if ds == nil {
+			http.Error(w, "unknown dataset", http.StatusNotFound)
+			return
+		}
+		// One line per sample: id<TAB>attr=value;attr=value;...
+		var b strings.Builder
+		for _, s := range ds.Samples {
+			b.WriteString(s.ID)
+			b.WriteByte('\t')
+			pairs := s.Meta.Pairs()
+			for i, p := range pairs {
+				if i > 0 {
+					b.WriteByte(';')
+				}
+				b.WriteString(p[0])
+				b.WriteByte('=')
+				b.WriteString(p[1])
+			}
+			b.WriteByte('\n')
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = io.WriteString(w, b.String())
+	})
+	mux.HandleFunc("/data/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/data/")
+		h.mu.Lock()
+		ds := h.data[name]
+		h.mu.Unlock()
+		if ds == nil {
+			http.Error(w, "unknown dataset", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-gdm")
+		_ = formats.EncodeDataset(w, ds)
+	})
+	return mux
+}
+
+// fingerprint hashes a dataset's content (schema, sample IDs, region
+// coordinates and values, metadata) for change detection.
+func fingerprint(ds *gdm.Dataset) string {
+	h := fnv.New64a()
+	io.WriteString(h, ds.Schema.String())
+	for _, s := range ds.Samples {
+		io.WriteString(h, s.ID)
+		for _, p := range s.Meta.Pairs() {
+			io.WriteString(h, p[0])
+			io.WriteString(h, p[1])
+		}
+		for i := range s.Regions {
+			io.WriteString(h, s.Regions[i].String())
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// IndexedDataset is one crawled dataset in the search service.
+type IndexedDataset struct {
+	HostURL string
+	Name    string
+	Samples int
+	Regions int
+	// Cached is true when the crawler also downloaded the dataset body
+	// (the paper: "storing some of the samples within a large repository").
+	Cached bool
+}
+
+// Snippet is one search hit, as the paper describes: an indication of the
+// dataset, where it lives, and whether the repository holds a copy.
+type Snippet struct {
+	HostURL string
+	Dataset string
+	Sample  string
+	Matched string // the metadata pair(s) that matched, abbreviated
+	InRepo  bool   // dataset body cached in the search repository
+	DataURL string // where to download the original, asynchronously
+}
+
+// CrawlStats summarizes one crawl pass.
+type CrawlStats struct {
+	Visited int // public links seen in manifests
+	Updated int // links whose metadata was (re)fetched and indexed
+	Skipped int // links skipped because their fingerprint was unchanged
+}
+
+// SearchService is the third-party crawler + index + search system.
+type SearchService struct {
+	mu           sync.Mutex
+	store        *meta.Store
+	onto         *ontology.Ontology
+	datasets     map[string]IndexedDataset // key: host|name
+	cache        map[string]*gdm.Dataset   // cached bodies
+	metaOf       map[string]*gdm.Metadata  // key: host|name|sample
+	fingerprints map[string]string         // key: host|name
+	CrawlLog     []string
+	LastCrawl    CrawlStats
+}
+
+// NewSearchService builds an empty service. The ontology may be nil
+// (keyword-only search).
+func NewSearchService(onto *ontology.Ontology) *SearchService {
+	return &SearchService{
+		store:        meta.NewStore(),
+		onto:         onto,
+		datasets:     make(map[string]IndexedDataset),
+		cache:        make(map[string]*gdm.Dataset),
+		metaOf:       make(map[string]*gdm.Metadata),
+		fingerprints: make(map[string]string),
+	}
+}
+
+// CrawlOptions tunes a crawl pass.
+type CrawlOptions struct {
+	// FetchBodies caches dataset bodies up to this many datasets per host
+	// (0 = metadata only). The paper's crawler downloads metadata always
+	// and datasets "with an agreed, non-intrusive protocol".
+	FetchBodies int
+}
+
+// Crawl visits every host: fetch manifest, fetch metadata of every public
+// link, optionally fetch dataset bodies, and index everything.
+func (s *SearchService) Crawl(hostURLs []string, opt CrawlOptions, httpc *http.Client) error {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	stats := CrawlStats{}
+	dirty := false
+	for _, base := range hostURLs {
+		entries, err := fetchManifest(httpc, base)
+		if err != nil {
+			return fmt.Errorf("genomenet: crawl %s: %w", base, err)
+		}
+		fetched := 0
+		for _, e := range entries {
+			if !e.Public {
+				continue
+			}
+			stats.Visited++
+			key := base + "|" + e.Name
+			s.mu.Lock()
+			unchanged := e.Fingerprint != "" && s.fingerprints[key] == e.Fingerprint
+			s.mu.Unlock()
+			if unchanged {
+				stats.Skipped++
+				continue
+			}
+			metaLines, err := fetchText(httpc, base+e.MetaURL)
+			if err != nil {
+				return fmt.Errorf("genomenet: crawl %s/%s: %w", base, e.Name, err)
+			}
+			s.indexMeta(base, e, metaLines)
+			dirty = true
+			stats.Updated++
+			if fetched < opt.FetchBodies {
+				ds, err := fetchDataset(httpc, base+e.DataURL)
+				if err != nil {
+					return fmt.Errorf("genomenet: crawl %s/%s body: %w", base, e.Name, err)
+				}
+				s.mu.Lock()
+				s.cache[key] = ds
+				d := s.datasets[key]
+				d.Cached = true
+				s.datasets[key] = d
+				s.mu.Unlock()
+				fetched++
+			}
+			s.mu.Lock()
+			s.fingerprints[key] = e.Fingerprint
+			s.CrawlLog = append(s.CrawlLog, base+"/"+e.Name)
+			s.mu.Unlock()
+		}
+	}
+	if dirty {
+		s.rebuildIndex()
+	}
+	s.mu.Lock()
+	s.LastCrawl = stats
+	s.mu.Unlock()
+	return nil
+}
+
+// rebuildIndex reconstructs the metadata store from the retained per-sample
+// metadata, so re-crawled datasets replace (rather than duplicate) their
+// previous entries.
+func (s *SearchService) rebuildIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.metaOf))
+	for k := range s.metaOf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.store = meta.NewStore()
+	for _, k := range keys {
+		// k is host|name|sample.
+		cut := strings.LastIndex(k, "|")
+		s.store.Add(meta.Entry{Dataset: k[:cut], Sample: k[cut+1:], Meta: s.metaOf[k]})
+	}
+	if s.onto != nil {
+		s.store.AnnotateWith(s.onto)
+	}
+}
+
+func fetchManifest(c *http.Client, base string) ([]ManifestEntry, error) {
+	resp, err := c.Get(base + "/manifest")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("manifest: %s", resp.Status)
+	}
+	var out []ManifestEntry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func fetchText(c *http.Client, url string) (string, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+func fetchDataset(c *http.Client, url string) (*gdm.Dataset, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return formats.DecodeDataset(bytes.NewReader(body))
+}
+
+// indexMeta parses the host's metadata lines and stores them per sample,
+// replacing any previous crawl's entries for the same dataset. The search
+// index itself is rebuilt once at the end of the crawl.
+func (s *SearchService) indexMeta(hostURL string, e ManifestEntry, lines string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := hostURL + "|" + e.Name
+	s.datasets[key] = IndexedDataset{
+		HostURL: hostURL, Name: e.Name, Samples: e.Samples, Regions: e.Regions,
+		Cached: s.datasets[key].Cached,
+	}
+	for k := range s.metaOf {
+		if strings.HasPrefix(k, key+"|") {
+			delete(s.metaOf, k)
+		}
+	}
+	for _, line := range strings.Split(lines, "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		md := gdm.NewMetadata()
+		if len(parts) == 2 {
+			for _, pair := range strings.Split(parts[1], ";") {
+				if kv := strings.SplitN(pair, "=", 2); len(kv) == 2 {
+					md.Add(kv[0], kv[1])
+				}
+			}
+		}
+		s.metaOf[key+"|"+parts[0]] = md
+	}
+}
+
+// NumIndexed reports how many datasets the service knows.
+func (s *SearchService) NumIndexed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.datasets)
+}
+
+// Search answers a keyword (or, with an ontology, concept) query with
+// snippets.
+func (s *SearchService) Search(query string, ontological bool) []Snippet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hits []meta.Entry
+	if ontological && s.onto != nil {
+		hits = s.store.SearchOntological(s.onto, query)
+	} else {
+		hits = s.store.SearchKeyword(query)
+	}
+	out := make([]Snippet, 0, len(hits))
+	for _, h := range hits {
+		d := s.datasets[h.Dataset]
+		matched := ""
+		for _, p := range h.Meta.Pairs() {
+			if strings.Contains(strings.ToLower(p[0]+" "+p[1]), strings.ToLower(query)) {
+				matched = p[0] + "=" + p[1]
+				break
+			}
+		}
+		out = append(out, Snippet{
+			HostURL: d.HostURL, Dataset: d.Name, Sample: h.Sample,
+			Matched: matched, InRepo: d.Cached,
+			DataURL: d.HostURL + "/data/" + d.Name,
+		})
+	}
+	return out
+}
+
+// RegionFeature selects the ranking feature of feature-based region search.
+type RegionFeature uint8
+
+// Region features.
+const (
+	// FeatureOverlapCount ranks by how many cached regions overlap the
+	// query regions.
+	FeatureOverlapCount RegionFeature = iota
+	// FeatureCoverage ranks by the fraction of query regions hit at least
+	// once.
+	FeatureCoverage
+)
+
+// RankedDataset is one feature-based search result.
+type RankedDataset struct {
+	HostURL string
+	Dataset string
+	Score   float64
+}
+
+// RegionSearch implements the paper's feature-based region search: the user
+// provides regions of interest; features are COMPUTED over the cached
+// datasets (they cannot be pre-indexed for arbitrary queries); datasets are
+// ranked by the computed feature and returned best-first.
+func (s *SearchService) RegionSearch(query *gdm.Sample, feature RegionFeature, topK int) ([]RankedDataset, error) {
+	s.mu.Lock()
+	cached := make(map[string]*gdm.Dataset, len(s.cache))
+	for k, v := range s.cache {
+		cached[k] = v
+	}
+	s.mu.Unlock()
+
+	ref := gdm.NewDataset("QUERY", gdm.MustSchema())
+	q := &gdm.Sample{ID: "query", Meta: gdm.NewMetadata()}
+	for _, r := range query.Regions {
+		q.Regions = append(q.Regions, gdm.Region{Chrom: r.Chrom, Start: r.Start, Stop: r.Stop, Strand: r.Strand})
+	}
+	qs := *q
+	qs.SortRegions()
+	ref.MustAdd(&qs)
+
+	cfg := engine.Config{Mode: engine.ModeSerial, MetaFirst: true}
+	var out []RankedDataset
+	for key, ds := range cached {
+		// Merge the dataset into one sample, then MAP the query onto it.
+		merged, err := engine.Merge(cfg, ds, nil)
+		if err != nil {
+			return nil, fmt.Errorf("genomenet: region search: %w", err)
+		}
+		mapped, err := engine.Map(cfg, ref, merged, engine.MapArgs{
+			Aggs: []expr.Aggregate{{Output: "hits", Func: expr.AggCount}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("genomenet: region search: %w", err)
+		}
+		hi, _ := mapped.Schema.Index("hits")
+		total, covered := 0.0, 0.0
+		for _, sm := range mapped.Samples {
+			for _, r := range sm.Regions {
+				n := r.Values[hi].Int()
+				total += float64(n)
+				if n > 0 {
+					covered++
+				}
+			}
+		}
+		var score float64
+		switch feature {
+		case FeatureOverlapCount:
+			score = total
+		case FeatureCoverage:
+			if len(query.Regions) > 0 {
+				score = covered / float64(len(query.Regions))
+			}
+		default:
+			return nil, fmt.Errorf("genomenet: unknown feature %d", feature)
+		}
+		idx := s.datasets[key]
+		out = append(out, RankedDataset{HostURL: idx.HostURL, Dataset: idx.Name, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].HostURL != out[j].HostURL {
+			return out[i].HostURL < out[j].HostURL
+		}
+		return out[i].Dataset < out[j].Dataset
+	})
+	if topK > 0 && topK < len(out) {
+		out = out[:topK]
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package genospace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"genogo/internal/gdm"
+)
+
+// Section 4.1 of the paper: "several data mining and computational
+// intelligence approaches ... can be applied to evaluate relationships
+// among genomic data, and between them and biological or clinical features
+// of experimental samples expressed in their metadata, i.e., for
+// genotype-phenotype correlation analysis". This file provides that bridge:
+// phenotype labels are read from the metadata of the MAP result's samples,
+// and each genome-space row (region/gene) is scored for association with
+// the phenotype.
+
+// PhenotypeLabels extracts a boolean phenotype per experiment column from a
+// metadata attribute of the MAP result samples (e.g. attr "right.karyotype",
+// value "cancer"). Samples missing the attribute get false.
+func PhenotypeLabels(ds *gdm.Dataset, attr, value string) []bool {
+	out := make([]bool, len(ds.Samples))
+	for i, s := range ds.Samples {
+		out[i] = s.Meta.Matches(attr, value)
+	}
+	return out
+}
+
+// Association is one region's phenotype-association score.
+type Association struct {
+	Region string
+	// PointBiserial is the point-biserial correlation between the region's
+	// value vector and the phenotype labels, in [-1, 1].
+	PointBiserial float64
+	// MeanCase and MeanControl are the group means behind the score.
+	MeanCase, MeanControl float64
+}
+
+// PhenotypeAssociation scores every genome-space row against the labels
+// using the point-biserial correlation (the Pearson correlation of a
+// continuous variable with a binary one) and returns the rows ranked by
+// absolute association, strongest first.
+func (gs *GenomeSpace) PhenotypeAssociation(labels []bool) ([]Association, error) {
+	if len(labels) != gs.NumExperiments() {
+		return nil, fmt.Errorf("genospace: %d labels for %d experiments", len(labels), gs.NumExperiments())
+	}
+	nCase := 0
+	for _, l := range labels {
+		if l {
+			nCase++
+		}
+	}
+	nCtrl := len(labels) - nCase
+	if nCase == 0 || nCtrl == 0 {
+		return nil, fmt.Errorf("genospace: phenotype needs both cases (%d) and controls (%d)", nCase, nCtrl)
+	}
+	out := make([]Association, gs.NumRegions())
+	for i := 0; i < gs.NumRegions(); i++ {
+		row := gs.Values[i]
+		var sumCase, sumCtrl, sum, sumSq float64
+		for j, v := range row {
+			sum += v
+			sumSq += v * v
+			if labels[j] {
+				sumCase += v
+			} else {
+				sumCtrl += v
+			}
+		}
+		n := float64(len(row))
+		meanCase := sumCase / float64(nCase)
+		meanCtrl := sumCtrl / float64(nCtrl)
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		r := 0.0
+		if variance > 0 {
+			sd := math.Sqrt(variance)
+			r = (meanCase - meanCtrl) / sd *
+				math.Sqrt(float64(nCase)*float64(nCtrl)/(n*n))
+		}
+		out[i] = Association{
+			Region:        gs.RegionLabel(i),
+			PointBiserial: r,
+			MeanCase:      meanCase,
+			MeanControl:   meanCtrl,
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return math.Abs(out[a].PointBiserial) > math.Abs(out[b].PointBiserial)
+	})
+	return out, nil
+}

@@ -1,0 +1,609 @@
+package gmql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"genogo/internal/engine"
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+)
+
+// cursor walks a clause's token span.
+type cursor struct {
+	toks []token
+	pos  int
+	last token // for error positions at end of clause
+}
+
+func newCursor(toks []token) *cursor {
+	c := &cursor{toks: toks}
+	if len(toks) > 0 {
+		c.last = toks[len(toks)-1]
+	}
+	return c
+}
+
+func (c *cursor) peek() token {
+	if c.pos < len(c.toks) {
+		return c.toks[c.pos]
+	}
+	return token{kind: tokEOF, line: c.last.line, col: c.last.col}
+}
+
+func (c *cursor) next() token {
+	t := c.peek()
+	if t.kind != tokEOF {
+		c.pos++
+	}
+	return t
+}
+
+func (c *cursor) done() bool { return c.pos >= len(c.toks) }
+
+func errAt(t token, format string, args ...any) error {
+	return fmt.Errorf("gmql: line %d col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// identList parses "a, b, c".
+func identList(toks []token) ([]string, error) {
+	c := newCursor(toks)
+	var out []string
+	for {
+		t := c.next()
+		if t.kind != tokIdent {
+			return nil, errAt(t, "expected attribute name, found %s", t)
+		}
+		out = append(out, t.text)
+		if c.done() {
+			return out, nil
+		}
+		if sep := c.next(); !sep.isSymbol(",") {
+			return nil, errAt(sep, "expected ',', found %s", sep)
+		}
+	}
+}
+
+// parseOrderKeys parses "attr [ASC|DESC], ...".
+func parseOrderKeys(toks []token) ([]engine.OrderKey, error) {
+	c := newCursor(toks)
+	var out []engine.OrderKey
+	for {
+		t := c.next()
+		if t.kind != tokIdent {
+			return nil, errAt(t, "expected attribute name, found %s", t)
+		}
+		key := engine.OrderKey{Attr: t.text}
+		if c.peek().isKeyword("ASC") {
+			c.next()
+		} else if c.peek().isKeyword("DESC") {
+			c.next()
+			key.Desc = true
+		}
+		out = append(out, key)
+		if c.done() {
+			return out, nil
+		}
+		if sep := c.next(); !sep.isSymbol(",") {
+			return nil, errAt(sep, "expected ',', found %s", sep)
+		}
+	}
+}
+
+// parseAggList parses "out AS FUNC(attr), out2 AS COUNT, ...".
+func parseAggList(toks []token) ([]expr.Aggregate, error) {
+	c := newCursor(toks)
+	var out []expr.Aggregate
+	for {
+		name := c.next()
+		if name.kind != tokIdent {
+			return nil, errAt(name, "expected output attribute name, found %s", name)
+		}
+		if as := c.next(); !as.isKeyword("AS") {
+			return nil, errAt(as, "expected AS, found %s", as)
+		}
+		fnTok := c.next()
+		if fnTok.kind != tokIdent {
+			return nil, errAt(fnTok, "expected aggregate function, found %s", fnTok)
+		}
+		fn, err := expr.ParseAggFunc(fnTok.text)
+		if err != nil {
+			return nil, errAt(fnTok, "%v", err)
+		}
+		agg := expr.Aggregate{Output: name.text, Func: fn}
+		if c.peek().isSymbol("(") {
+			c.next()
+			attr := c.next()
+			if attr.kind != tokIdent {
+				return nil, errAt(attr, "expected attribute name, found %s", attr)
+			}
+			agg.Attr = attr.text
+			if cl := c.next(); !cl.isSymbol(")") {
+				return nil, errAt(cl, "expected ')', found %s", cl)
+			}
+		}
+		if fn.NeedsAttr() && agg.Attr == "" {
+			return nil, errAt(fnTok, "%s needs an attribute argument", fn)
+		}
+		if !fn.NeedsAttr() && agg.Attr != "" {
+			return nil, errAt(fnTok, "%s takes no attribute argument", fn)
+		}
+		out = append(out, agg)
+		if c.done() {
+			return out, nil
+		}
+		if sep := c.next(); !sep.isSymbol(",") {
+			return nil, errAt(sep, "expected ',', found %s", sep)
+		}
+	}
+}
+
+// parseProjectItems parses "attr, out AS <expr>, ...".
+func parseProjectItems(toks []token) ([]engine.ProjectItem, error) {
+	c := newCursor(toks)
+	var out []engine.ProjectItem
+	for {
+		name := c.next()
+		if name.kind != tokIdent {
+			return nil, errAt(name, "expected attribute name, found %s", name)
+		}
+		item := engine.ProjectItem{Name: name.text}
+		if c.peek().isKeyword("AS") {
+			c.next()
+			e, err := parseExprUntilComma(c)
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = e
+		}
+		out = append(out, item)
+		if c.done() {
+			return out, nil
+		}
+		if sep := c.next(); !sep.isSymbol(",") {
+			return nil, errAt(sep, "expected ',', found %s", sep)
+		}
+	}
+}
+
+// parseExprUntilComma parses a region expression stopping at a top-level
+// comma (project item separator).
+func parseExprUntilComma(c *cursor) (expr.Node, error) {
+	// Find the top-level comma bounding this expression.
+	depth := 0
+	end := c.pos
+	for ; end < len(c.toks); end++ {
+		t := c.toks[end]
+		if t.isSymbol("(") {
+			depth++
+		}
+		if t.isSymbol(")") {
+			depth--
+		}
+		if t.isSymbol(",") && depth == 0 {
+			break
+		}
+	}
+	sub := newCursor(c.toks[c.pos:end])
+	e, err := parseOr(sub)
+	if err != nil {
+		return nil, err
+	}
+	if !sub.done() {
+		return nil, errAt(sub.peek(), "unexpected %s in expression", sub.peek())
+	}
+	c.pos = end
+	return e, nil
+}
+
+// parseRegionExpr parses a whole clause as a region predicate/expression.
+func parseRegionExpr(toks []token) (expr.Node, error) {
+	c := newCursor(toks)
+	e, err := parseOr(c)
+	if err != nil {
+		return nil, err
+	}
+	if !c.done() {
+		return nil, errAt(c.peek(), "unexpected %s after expression", c.peek())
+	}
+	return e, nil
+}
+
+// Region expression grammar (precedence climbing):
+//
+//	or   := and (OR and)*
+//	and  := not (AND not)*
+//	not  := NOT not | cmp
+//	cmp  := add ((==|!=|<|<=|>|>=) add)?
+//	add  := mul ((+|-) mul)*
+//	mul  := unary ((*|/) unary)*
+//	unary:= - unary | primary
+//	prim := number | 'string' | ident | ( or )
+func parseOr(c *cursor) (expr.Node, error) {
+	l, err := parseAnd(c)
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().isKeyword("OR") {
+		c.next()
+		r, err := parseAnd(c)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or{Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func parseAnd(c *cursor) (expr.Node, error) {
+	l, err := parseNot(c)
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().isKeyword("AND") {
+		c.next()
+		r, err := parseNot(c)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And{Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func parseNot(c *cursor) (expr.Node, error) {
+	if c.peek().isKeyword("NOT") {
+		c.next()
+		inner, err := parseNot(c)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{Inner: inner}, nil
+	}
+	return parseCmp(c)
+}
+
+func parseCmp(c *cursor) (expr.Node, error) {
+	l, err := parseAdd(c)
+	if err != nil {
+		return nil, err
+	}
+	t := c.peek()
+	var op expr.CmpOp
+	switch {
+	case t.isSymbol("=="):
+		op = expr.CmpEq
+	case t.isSymbol("!="):
+		op = expr.CmpNe
+	case t.isSymbol("<"):
+		op = expr.CmpLt
+	case t.isSymbol("<="):
+		op = expr.CmpLe
+	case t.isSymbol(">"):
+		op = expr.CmpGt
+	case t.isSymbol(">="):
+		op = expr.CmpGe
+	default:
+		return l, nil
+	}
+	c.next()
+	r, err := parseAdd(c)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Cmp{Op: op, Left: l, Right: r}, nil
+}
+
+func parseAdd(c *cursor) (expr.Node, error) {
+	l, err := parseMul(c)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := c.peek()
+		var op expr.ArithOp
+		switch {
+		case t.isSymbol("+"):
+			op = expr.OpAdd
+		case t.isSymbol("-"):
+			op = expr.OpSub
+		default:
+			return l, nil
+		}
+		c.next()
+		r, err := parseMul(c)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Arith{Op: op, Left: l, Right: r}
+	}
+}
+
+func parseMul(c *cursor) (expr.Node, error) {
+	l, err := parseUnary(c)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := c.peek()
+		var op expr.ArithOp
+		switch {
+		case t.isSymbol("*"):
+			op = expr.OpMul
+		case t.isSymbol("/"):
+			op = expr.OpDiv
+		default:
+			return l, nil
+		}
+		c.next()
+		r, err := parseUnary(c)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Arith{Op: op, Left: l, Right: r}
+	}
+}
+
+func parseUnary(c *cursor) (expr.Node, error) {
+	if c.peek().isSymbol("-") {
+		c.next()
+		inner, err := parseUnary(c)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Arith{Op: expr.OpSub, Left: expr.Const{Value: gdm.Int(0)}, Right: inner}, nil
+	}
+	return parsePrimary(c)
+}
+
+func parsePrimary(c *cursor) (expr.Node, error) {
+	t := c.next()
+	switch {
+	case t.kind == tokNumber:
+		return numberConst(t)
+	case t.kind == tokString:
+		return expr.Const{Value: gdm.Str(t.text)}, nil
+	case t.isKeyword("true"):
+		return expr.Const{Value: gdm.Bool(true)}, nil
+	case t.isKeyword("false"):
+		return expr.Const{Value: gdm.Bool(false)}, nil
+	case t.kind == tokIdent:
+		return expr.Attr{Name: t.text}, nil
+	case t.isSymbol("("):
+		e, err := parseOr(c)
+		if err != nil {
+			return nil, err
+		}
+		if cl := c.next(); !cl.isSymbol(")") {
+			return nil, errAt(cl, "expected ')', found %s", cl)
+		}
+		return e, nil
+	default:
+		return nil, errAt(t, "expected expression, found %s", t)
+	}
+}
+
+func numberConst(t token) (expr.Node, error) {
+	if !strings.ContainsAny(t.text, ".eE") {
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err == nil {
+			return expr.Const{Value: gdm.Int(n)}, nil
+		}
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return nil, errAt(t, "bad number %q", t.text)
+	}
+	return expr.Const{Value: gdm.Float(f)}, nil
+}
+
+// Metadata predicate grammar:
+//
+//	or   := and (OR and)*
+//	and  := not (AND not)*
+//	not  := NOT not | ( or ) | atom
+//	atom := ident (==|!=|<|<=|>|>=) value | ident     (bare ident = exists)
+//	value:= 'string' | number | ident
+func parseMetaPredicate(toks []token) (expr.MetaPredicate, error) {
+	c := newCursor(toks)
+	p, err := parseMetaOr(c)
+	if err != nil {
+		return nil, err
+	}
+	if !c.done() {
+		return nil, errAt(c.peek(), "unexpected %s after metadata predicate", c.peek())
+	}
+	return p, nil
+}
+
+func parseMetaOr(c *cursor) (expr.MetaPredicate, error) {
+	l, err := parseMetaAnd(c)
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().isKeyword("OR") {
+		c.next()
+		r, err := parseMetaAnd(c)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.MetaOr{Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func parseMetaAnd(c *cursor) (expr.MetaPredicate, error) {
+	l, err := parseMetaNot(c)
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().isKeyword("AND") {
+		c.next()
+		r, err := parseMetaNot(c)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.MetaAnd{Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func parseMetaNot(c *cursor) (expr.MetaPredicate, error) {
+	t := c.peek()
+	switch {
+	case t.isKeyword("NOT"):
+		c.next()
+		inner, err := parseMetaNot(c)
+		if err != nil {
+			return nil, err
+		}
+		return expr.MetaNot{Inner: inner}, nil
+	case t.isSymbol("("):
+		c.next()
+		inner, err := parseMetaOr(c)
+		if err != nil {
+			return nil, err
+		}
+		if cl := c.next(); !cl.isSymbol(")") {
+			return nil, errAt(cl, "expected ')', found %s", cl)
+		}
+		return inner, nil
+	default:
+		return parseMetaAtom(c)
+	}
+}
+
+func parseMetaAtom(c *cursor) (expr.MetaPredicate, error) {
+	t := c.next()
+	if t.kind != tokIdent {
+		return nil, errAt(t, "expected metadata attribute, found %s", t)
+	}
+	opTok := c.peek()
+	var op expr.CmpOp
+	switch {
+	case opTok.isSymbol("=="):
+		op = expr.CmpEq
+	case opTok.isSymbol("!="):
+		op = expr.CmpNe
+	case opTok.isSymbol("<"):
+		op = expr.CmpLt
+	case opTok.isSymbol("<="):
+		op = expr.CmpLe
+	case opTok.isSymbol(">"):
+		op = expr.CmpGt
+	case opTok.isSymbol(">="):
+		op = expr.CmpGe
+	default:
+		// Bare attribute: existence test.
+		return expr.MetaExists{Attr: t.text}, nil
+	}
+	c.next()
+	v := c.next()
+	if v.kind != tokString && v.kind != tokNumber && v.kind != tokIdent {
+		return nil, errAt(v, "expected metadata value, found %s", v)
+	}
+	return expr.MetaCmp{Attr: t.text, Op: op, Value: v.text}, nil
+}
+
+// parseGenometric parses "DLE(1000), MD(1), UP, DGE(0), DOWN".
+func parseGenometric(toks []token) (engine.GenometricPred, error) {
+	c := newCursor(toks)
+	var pred engine.GenometricPred
+	for {
+		t := c.next()
+		if t.kind != tokIdent {
+			return pred, errAt(t, "expected genometric clause, found %s", t)
+		}
+		switch strings.ToUpper(t.text) {
+		case "UP", "UPSTREAM":
+			pred.Stream = engine.StreamUp
+		case "DOWN", "DOWNSTREAM":
+			pred.Stream = engine.StreamDown
+		case "DLE", "DL", "DGE", "DG", "MD":
+			if op := c.next(); !op.isSymbol("(") {
+				return pred, errAt(op, "expected '(', found %s", op)
+			}
+			neg := false
+			numTok := c.next()
+			if numTok.isSymbol("-") {
+				neg = true
+				numTok = c.next()
+			}
+			if numTok.kind != tokNumber {
+				return pred, errAt(numTok, "expected distance, found %s", numTok)
+			}
+			n, err := strconv.ParseInt(numTok.text, 10, 64)
+			if err != nil {
+				return pred, errAt(numTok, "bad distance %q", numTok.text)
+			}
+			if neg {
+				n = -n
+			}
+			if cl := c.next(); !cl.isSymbol(")") {
+				return pred, errAt(cl, "expected ')', found %s", cl)
+			}
+			switch strings.ToUpper(t.text) {
+			case "DLE":
+				pred.Conds = append(pred.Conds, engine.DistCond{Op: engine.DistLE, Dist: n})
+			case "DL":
+				pred.Conds = append(pred.Conds, engine.DistCond{Op: engine.DistLT, Dist: n})
+			case "DGE":
+				pred.Conds = append(pred.Conds, engine.DistCond{Op: engine.DistGE, Dist: n})
+			case "DG":
+				pred.Conds = append(pred.Conds, engine.DistCond{Op: engine.DistGT, Dist: n})
+			case "MD":
+				if n <= 0 {
+					return pred, errAt(numTok, "MD wants a positive count")
+				}
+				pred.MinDistK = int(n)
+			}
+		default:
+			return pred, errAt(t, "unknown genometric clause %q", t.text)
+		}
+		if c.done() {
+			return pred, nil
+		}
+		if sep := c.next(); !sep.isSymbol(",") {
+			return pred, errAt(sep, "expected ',', found %s", sep)
+		}
+	}
+}
+
+// parseCoverBounds parses "min, max" where each bound is a number, ANY or ALL.
+func parseCoverBounds(toks []token) (engine.CoverBound, engine.CoverBound, error) {
+	c := newCursor(toks)
+	lo, err := parseCoverBound(c)
+	if err != nil {
+		return lo, lo, err
+	}
+	if sep := c.next(); !sep.isSymbol(",") {
+		return lo, lo, errAt(sep, "expected ',', found %s", sep)
+	}
+	hi, err := parseCoverBound(c)
+	if err != nil {
+		return lo, hi, err
+	}
+	if !c.done() {
+		return lo, hi, errAt(c.peek(), "unexpected %s after bounds", c.peek())
+	}
+	return lo, hi, nil
+}
+
+func parseCoverBound(c *cursor) (engine.CoverBound, error) {
+	t := c.next()
+	switch {
+	case t.isKeyword("ANY"):
+		return engine.CoverBound{Kind: engine.BoundAny}, nil
+	case t.isKeyword("ALL"):
+		return engine.CoverBound{Kind: engine.BoundAll}, nil
+	case t.kind == tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 1 {
+			return engine.CoverBound{}, errAt(t, "bad accumulation bound %q", t.text)
+		}
+		return engine.CoverBound{Kind: engine.BoundN, N: n}, nil
+	default:
+		return engine.CoverBound{}, errAt(t, "expected accumulation bound, found %s", t)
+	}
+}

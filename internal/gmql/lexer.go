@@ -1,0 +1,180 @@
+// Package gmql implements the GenoMetric Query Language of the paper: a
+// closed algebra over GDM datasets with classic relational operations
+// (SELECT, PROJECT, UNION, DIFFERENCE, ORDER, GROUP, EXTEND, MERGE) and
+// domain-specific ones (MAP, genometric JOIN, COVER and its variants).
+//
+// The package contains the textual front end — lexer, parser, semantic
+// checks — and compiles scripts directly into engine plan trees, which any
+// of the engine backends can run (the compiler is backend-independent, per
+// Section 4.2 of the paper). A Runner executes whole scripts, materializing
+// the requested variables.
+package gmql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // one of = ( ) ; , : < > <= >= == != + - * /
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// isSymbol reports whether the token is the exact symbol s.
+func (t token) isSymbol(s string) bool { return t.kind == tokSymbol && t.text == s }
+
+// isKeyword reports whether the token is the identifier kw, case-insensitive
+// (GMQL keywords are conventionally upper-case but the language is liberal).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// lex tokenizes a GMQL script. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '\'' || c == '"':
+			quote := c
+			startLine, startCol := line, col
+			adv(1)
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == quote {
+					closed = true
+					adv(1)
+					break
+				}
+				if src[i] == '\n' {
+					break
+				}
+				sb.WriteByte(src[i])
+				adv(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("gmql: line %d col %d: unterminated string", startLine, startCol)
+			}
+			toks = append(toks, token{tokString, sb.String(), startLine, startCol})
+		case c >= '0' && c <= '9':
+			startLine, startCol := line, col
+			j := i
+			seenDot, seenExp := false, false
+			for j < len(src) {
+				d := src[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					// A dot is part of the number only when followed by a
+					// digit (so "1..2" or "chr1.x" stay separate tokens).
+					if j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+						seenDot = true
+						j++
+						continue
+					}
+					break
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j+1 < len(src) &&
+					(src[j+1] == '+' || src[j+1] == '-' || (src[j+1] >= '0' && src[j+1] <= '9')) {
+					seenExp = true
+					j++
+					if src[j] == '+' || src[j] == '-' {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			text := src[i:j]
+			adv(j - i)
+			toks = append(toks, token{tokNumber, text, startLine, startCol})
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			adv(j - i)
+			toks = append(toks, token{tokIdent, text, startLine, startCol})
+		default:
+			startLine, startCol := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				adv(2)
+				toks = append(toks, token{tokSymbol, two, startLine, startCol})
+				continue
+			}
+			switch c {
+			case '=', '(', ')', ';', ',', ':', '<', '>', '+', '-', '*', '/':
+				adv(1)
+				toks = append(toks, token{tokSymbol, string(c), startLine, startCol})
+			default:
+				return nil, fmt.Errorf("gmql: line %d col %d: unexpected character %q", line, col, string(c))
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+// isIdentPart accepts dots inside identifiers so prefixed attribute names
+// like "right.score" and metadata names like "left.cell" lex as one token.
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

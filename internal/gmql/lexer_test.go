@@ -1,0 +1,172 @@
+package gmql
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func texts(toks []token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.kind != tokEOF {
+			out = append(out, t.text)
+		}
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`X = SELECT(a == 'hi'; region: p < 0.05) DS;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"X", "=", "SELECT", "(", "a", "==", "hi", ";", "region", ":", "p", "<", "0.05", ")", "DS", ";"}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("# full line comment\nX = 1; # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	if len(got) != 4 || got[0] != "X" {
+		t.Errorf("tokens = %v", got)
+	}
+	// Comment content never leaks.
+	for _, tok := range got {
+		if strings.Contains(tok, "comment") || strings.Contains(tok, "trailing") {
+			t.Errorf("comment leaked into token %q", tok)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string][]string{
+		"42":     {"42"},
+		"0.5":    {"0.5"},
+		"1e-5":   {"1e-5"},
+		"2.5E+3": {"2.5E+3"},
+		"1..2":   {"1", ".", ".", "2"}, // dots without digits split — but '.' is not a symbol
+		"3.hits": {"3", ".", "hits"},
+		"chr1":   {"chr1"}, // identifier, not number
+		"x1.y2":  {"x1.y2"},
+		"10 20":  {"10", "20"},
+		"-5":     {"-", "5"},
+		"1e5x":   {"1e5", "x"},
+	}
+	for in, want := range cases {
+		toks, err := lex(in)
+		if in == "1..2" || in == "3.hits" {
+			// '.' outside numbers/identifiers is not a legal symbol.
+			if err == nil {
+				t.Errorf("lex(%q) succeeded: %v", in, texts(toks))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("lex(%q): %v", in, err)
+			continue
+		}
+		got := texts(toks)
+		if len(got) != len(want) {
+			t.Errorf("lex(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("lex(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lex(`'single' "double" 'with spaces and #not-a-comment'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"single", "double", "with spaces and #not-a-comment"}
+	for i := range want {
+		if got[i] != want[i] || toks[i].kind != tokString {
+			t.Errorf("string %d = %q (%v)", i, got[i], toks[i].kind)
+		}
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("'newline\nin string'"); err == nil {
+		t.Error("string with newline accepted")
+	}
+}
+
+func TestLexSymbolsAndPositions(t *testing.T) {
+	toks, err := lex("a\n  b <= c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("a at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Errorf("b at %d:%d", toks[1].line, toks[1].col)
+	}
+	if toks[2].text != "<=" || toks[2].kind != tokSymbol {
+		t.Errorf("symbol = %+v", toks[2])
+	}
+	if _, err := lex("a @ b"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("bad char error = %v", err)
+	}
+}
+
+func TestLexDottedIdentifiers(t *testing.T) {
+	toks, err := lex("right.score left.cell.line _under")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"right.score", "left.cell.line", "_under"}
+	for i := range want {
+		if got[i] != want[i] || toks[i].kind != tokIdent {
+			t.Errorf("ident %d = %q", i, got[i])
+		}
+	}
+}
+
+func TestTokenHelpers(t *testing.T) {
+	toks, _ := lex("SELECT select ==")
+	if !toks[0].isKeyword("select") || !toks[1].isKeyword("SELECT") {
+		t.Error("isKeyword must be case-insensitive")
+	}
+	if !toks[2].isSymbol("==") || toks[2].isSymbol("=") {
+		t.Error("isSymbol wrong")
+	}
+	if toks[0].isSymbol("SELECT") {
+		t.Error("ident treated as symbol")
+	}
+	eof := toks[len(toks)-1]
+	if eof.String() != "end of input" {
+		t.Errorf("EOF String = %q", eof.String())
+	}
+	_ = kinds(toks)
+}

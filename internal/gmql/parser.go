@@ -1,0 +1,691 @@
+package gmql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"genogo/internal/engine"
+	"genogo/internal/expr"
+)
+
+// Assign is one "VAR = OP(...) OPERANDS;" statement.
+type Assign struct {
+	Var  string
+	Plan engine.Node
+	Line int
+}
+
+// Materialize is one "MATERIALIZE VAR [INTO target];" statement.
+type Materialize struct {
+	Var    string
+	Target string
+	Line   int
+}
+
+// Program is a parsed GMQL script: an ordered list of assignments compiled
+// to plan trees, plus the materialization requests.
+type Program struct {
+	Assignments  []Assign
+	Materialized []Materialize
+	vars         map[string]engine.Node
+}
+
+// Plan returns the compiled plan of a variable. Dataset names that were
+// never assigned resolve to catalog scans, matching operand resolution
+// inside scripts.
+func (p *Program) Plan(name string) engine.Node {
+	if n, ok := p.vars[name]; ok {
+		return n
+	}
+	return &engine.Scan{Dataset: name}
+}
+
+// Parse compiles a GMQL script. Every assignment is compiled to an engine
+// plan immediately, so errors carry the offending line.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &Program{vars: make(map[string]engine.Node)}}
+	for !p.peek().isEOF() {
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	return p.prog, nil
+}
+
+func (t token) isEOF() bool { return t.kind == tokEOF }
+
+type parser struct {
+	toks []token
+	pos  int
+	prog *Program
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("gmql: line %d col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if !t.isSymbol(s) {
+		return p.errf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+// statement parses one assignment or MATERIALIZE statement.
+func (p *parser) statement() error {
+	t := p.peek()
+	if t.isKeyword("MATERIALIZE") {
+		return p.materialize()
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if isReservedOp(name.text) {
+		return p.errf(name, "%s is an operator name, not a variable", strings.ToUpper(name.text))
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	opTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	plan, err := p.operator(opTok)
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if _, dup := p.prog.vars[name.text]; dup {
+		return p.errf(name, "variable %s assigned twice", name.text)
+	}
+	p.prog.vars[name.text] = plan
+	p.prog.Assignments = append(p.prog.Assignments, Assign{Var: name.text, Plan: plan, Line: name.line})
+	return nil
+}
+
+func isReservedOp(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "PROJECT", "EXTEND", "MERGE", "GROUP", "ORDER", "UNION",
+		"DIFFERENCE", "JOIN", "MAP", "COVER", "FLAT", "SUMMIT", "HISTOGRAM",
+		"MATERIALIZE":
+		return true
+	}
+	return false
+}
+
+func (p *parser) materialize() error {
+	kw := p.next() // MATERIALIZE
+	v, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	target := v.text
+	if p.peek().isKeyword("INTO") {
+		p.next()
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokString {
+			return p.errf(t, "expected materialization target, found %s", t)
+		}
+		target = t.text
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	p.prog.Materialized = append(p.prog.Materialized, Materialize{Var: v.text, Target: target, Line: kw.line})
+	return nil
+}
+
+// operand resolves one operand: a previously assigned variable or a dataset
+// scan.
+func (p *parser) operand() (engine.Node, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return p.prog.Plan(t.text), nil
+}
+
+// clauseList splits the parenthesized argument list of an operator into
+// clauses at top-level semicolons. Each clause is returned as its token
+// span. An empty argument list is allowed.
+func (p *parser) clauseSpans() ([][]token, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var clauses [][]token
+	var cur []token
+	depth := 0
+	for {
+		t := p.peek()
+		if t.isEOF() {
+			return nil, p.errf(t, "unterminated operator argument list")
+		}
+		if t.isSymbol("(") {
+			depth++
+		}
+		if t.isSymbol(")") {
+			if depth == 0 {
+				p.next()
+				break
+			}
+			depth--
+		}
+		if t.isSymbol(";") && depth == 0 {
+			p.next()
+			clauses = append(clauses, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, p.next())
+	}
+	if len(cur) > 0 || len(clauses) > 0 {
+		clauses = append(clauses, cur)
+	}
+	return clauses, nil
+}
+
+// clause is one operator clause, possibly named ("name: tokens").
+type clause struct {
+	name string // "" for positional
+	toks []token
+}
+
+func splitClause(span []token) clause {
+	if len(span) >= 2 && span[0].kind == tokIdent && span[1].isSymbol(":") {
+		return clause{name: strings.ToLower(span[0].text), toks: span[2:]}
+	}
+	return clause{toks: span}
+}
+
+// operator dispatches on the operator keyword and parses its clauses and
+// operands into a plan node.
+func (p *parser) operator(opTok token) (engine.Node, error) {
+	op := strings.ToUpper(opTok.text)
+	spans, err := p.clauseSpans()
+	if err != nil {
+		return nil, err
+	}
+	clauses := make([]clause, 0, len(spans))
+	for _, s := range spans {
+		clauses = append(clauses, splitClause(s))
+	}
+	switch op {
+	case "SELECT":
+		return p.selectOp(opTok, clauses)
+	case "PROJECT":
+		return p.projectOp(opTok, clauses)
+	case "EXTEND":
+		return p.extendOp(opTok, clauses)
+	case "MERGE":
+		return p.mergeOp(opTok, clauses)
+	case "GROUP":
+		return p.groupOp(opTok, clauses)
+	case "ORDER":
+		return p.orderOp(opTok, clauses)
+	case "UNION":
+		return p.unionOp(opTok, clauses)
+	case "DIFFERENCE":
+		return p.differenceOp(opTok, clauses)
+	case "JOIN":
+		return p.joinOp(opTok, clauses)
+	case "MAP":
+		return p.mapOp(opTok, clauses)
+	case "COVER", "FLAT", "SUMMIT", "HISTOGRAM":
+		return p.coverOp(opTok, op, clauses)
+	default:
+		return nil, p.errf(opTok, "unknown operator %s", opTok.text)
+	}
+}
+
+func (p *parser) selectOp(opTok token, clauses []clause) (engine.Node, error) {
+	var meta expr.MetaPredicate
+	var region expr.Node
+	var semi *engine.SemiJoin
+	for _, c := range clauses {
+		switch c.name {
+		case "":
+			if len(c.toks) == 0 {
+				continue
+			}
+			m, err := parseMetaPredicate(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			meta = m
+		case "region":
+			r, err := parseRegionExpr(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			region = r
+		case "semijoin":
+			sj, err := p.parseSemiJoin(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			semi = sj
+		default:
+			return nil, p.errf(opTok, "SELECT: unknown clause %q", c.name)
+		}
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.SelectOp{Input: in, Meta: meta, Region: region, SemiJoin: semi}, nil
+}
+
+// parseSemiJoin parses "attr1, attr2 [NOT] IN DATASET".
+func (p *parser) parseSemiJoin(toks []token) (*engine.SemiJoin, error) {
+	c := newCursor(toks)
+	sj := &engine.SemiJoin{}
+	for {
+		t := c.next()
+		if t.kind != tokIdent {
+			return nil, errAt(t, "semijoin: expected attribute name, found %s", t)
+		}
+		sj.Attrs = append(sj.Attrs, t.text)
+		sep := c.next()
+		switch {
+		case sep.isSymbol(","):
+			continue
+		case sep.isKeyword("NOT"):
+			sj.Negated = true
+			sep = c.next()
+			if !sep.isKeyword("IN") {
+				return nil, errAt(sep, "semijoin: expected IN after NOT, found %s", sep)
+			}
+		case sep.isKeyword("IN"):
+		default:
+			return nil, errAt(sep, "semijoin: expected ',', IN or NOT IN, found %s", sep)
+		}
+		break
+	}
+	ext := c.next()
+	if ext.kind != tokIdent {
+		return nil, errAt(ext, "semijoin: expected external dataset, found %s", ext)
+	}
+	if !c.done() {
+		return nil, errAt(c.peek(), "semijoin: unexpected %s", c.peek())
+	}
+	sj.External = p.prog.Plan(ext.text)
+	return sj, nil
+}
+
+func (p *parser) projectOp(opTok token, clauses []clause) (engine.Node, error) {
+	args := engine.ProjectArgs{}
+	for _, c := range clauses {
+		switch c.name {
+		case "region", "":
+			if len(c.toks) == 0 {
+				continue
+			}
+			items, err := parseProjectItems(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.Regions = items
+		case "metadata":
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.MetaKeep = names
+		default:
+			return nil, p.errf(opTok, "PROJECT: unknown clause %q", c.name)
+		}
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.ProjectOp{Input: in, Args: args}, nil
+}
+
+func (p *parser) extendOp(opTok token, clauses []clause) (engine.Node, error) {
+	if len(clauses) != 1 || clauses[0].name != "" {
+		return nil, p.errf(opTok, "EXTEND takes one aggregate list")
+	}
+	aggs, err := parseAggList(clauses[0].toks)
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.ExtendOp{Input: in, Aggs: aggs}, nil
+}
+
+func (p *parser) mergeOp(opTok token, clauses []clause) (engine.Node, error) {
+	var groupBy []string
+	for _, c := range clauses {
+		switch c.name {
+		case "groupby":
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			groupBy = names
+		case "":
+			if len(c.toks) != 0 {
+				return nil, p.errf(opTok, "MERGE takes only a groupby clause")
+			}
+		default:
+			return nil, p.errf(opTok, "MERGE: unknown clause %q", c.name)
+		}
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.MergeOp{Input: in, GroupBy: groupBy}, nil
+}
+
+func (p *parser) groupOp(opTok token, clauses []clause) (engine.Node, error) {
+	args := engine.GroupArgs{}
+	positional := 0
+	for _, c := range clauses {
+		switch {
+		case c.name == "" && positional == 0:
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.By = names
+			positional++
+		case c.name == "" && positional == 1:
+			aggs, err := parseAggList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.MetaAggs = aggs
+			positional++
+		case c.name == "region_aggregate":
+			aggs, err := parseAggList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.RegionAggs = aggs
+		default:
+			return nil, p.errf(opTok, "GROUP takes group attributes, an optional aggregate list and an optional region_aggregate clause")
+		}
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.GroupOp{Input: in, Args: args}, nil
+}
+
+func (p *parser) orderOp(opTok token, clauses []clause) (engine.Node, error) {
+	args := engine.OrderArgs{}
+	for _, c := range clauses {
+		switch c.name {
+		case "":
+			keys, err := parseOrderKeys(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.Keys = keys
+		case "top":
+			if len(c.toks) != 1 || c.toks[0].kind != tokNumber {
+				return nil, p.errf(opTok, "ORDER: top wants a number")
+			}
+			n, err := strconv.Atoi(c.toks[0].text)
+			if err != nil || n < 0 {
+				return nil, p.errf(c.toks[0], "ORDER: bad top %q", c.toks[0].text)
+			}
+			args.Top = n
+		case "region_order":
+			keys, err := parseOrderKeys(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.RegionKeys = keys
+		case "region_top":
+			if len(c.toks) != 1 || c.toks[0].kind != tokNumber {
+				return nil, p.errf(opTok, "ORDER: region_top wants a number")
+			}
+			n, err := strconv.Atoi(c.toks[0].text)
+			if err != nil || n < 0 {
+				return nil, p.errf(c.toks[0], "ORDER: bad region_top %q", c.toks[0].text)
+			}
+			args.RegionTop = n
+		default:
+			return nil, p.errf(opTok, "ORDER: unknown clause %q", c.name)
+		}
+	}
+	if len(args.Keys) == 0 && len(args.RegionKeys) == 0 {
+		return nil, p.errf(opTok, "ORDER needs at least one sort key")
+	}
+	if args.RegionTop > 0 && len(args.RegionKeys) == 0 {
+		return nil, p.errf(opTok, "ORDER: region_top needs region_order keys")
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.OrderOp{Input: in, Args: args}, nil
+}
+
+func (p *parser) unionOp(opTok token, clauses []clause) (engine.Node, error) {
+	for _, c := range clauses {
+		if c.name != "" || len(c.toks) != 0 {
+			return nil, p.errf(opTok, "UNION takes no arguments")
+		}
+	}
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.UnionOp{Left: l, Right: r}, nil
+}
+
+func (p *parser) differenceOp(opTok token, clauses []clause) (engine.Node, error) {
+	args := engine.DifferenceArgs{}
+	for _, c := range clauses {
+		switch c.name {
+		case "joinby":
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.JoinBy = names
+		case "exact":
+			if len(c.toks) != 1 || !(c.toks[0].isKeyword("true") || c.toks[0].isKeyword("false")) {
+				return nil, p.errf(opTok, "DIFFERENCE: exact wants true or false")
+			}
+			args.Exact = c.toks[0].isKeyword("true")
+		case "":
+			if len(c.toks) != 0 {
+				return nil, p.errf(opTok, "DIFFERENCE: unexpected positional clause")
+			}
+		default:
+			return nil, p.errf(opTok, "DIFFERENCE: unknown clause %q", c.name)
+		}
+	}
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.DifferenceOp{Left: l, Right: r, Args: args}, nil
+}
+
+func (p *parser) mapOp(opTok token, clauses []clause) (engine.Node, error) {
+	args := engine.MapArgs{}
+	for _, c := range clauses {
+		switch c.name {
+		case "":
+			if len(c.toks) == 0 {
+				continue
+			}
+			aggs, err := parseAggList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.Aggs = aggs
+		case "joinby":
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.JoinBy = names
+		default:
+			return nil, p.errf(opTok, "MAP: unknown clause %q", c.name)
+		}
+	}
+	ref, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	exp, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.MapOp{Ref: ref, Exp: exp, Args: args}, nil
+}
+
+func (p *parser) joinOp(opTok token, clauses []clause) (engine.Node, error) {
+	args := engine.JoinArgs{Output: engine.OutCat}
+	for _, c := range clauses {
+		switch c.name {
+		case "":
+			if len(c.toks) == 0 {
+				continue
+			}
+			pred, err := parseGenometric(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.Pred = pred
+		case "output":
+			if len(c.toks) != 1 || c.toks[0].kind != tokIdent {
+				return nil, p.errf(opTok, "JOIN: output wants INT, LEFT, RIGHT or CAT")
+			}
+			switch strings.ToUpper(c.toks[0].text) {
+			case "INT":
+				args.Output = engine.OutInt
+			case "LEFT":
+				args.Output = engine.OutLeft
+			case "RIGHT":
+				args.Output = engine.OutRight
+			case "CAT", "CONTIG":
+				args.Output = engine.OutCat
+			default:
+				return nil, p.errf(c.toks[0], "JOIN: unknown output %q", c.toks[0].text)
+			}
+		case "joinby":
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.JoinBy = names
+		default:
+			return nil, p.errf(opTok, "JOIN: unknown clause %q", c.name)
+		}
+	}
+	if len(args.Pred.Conds) == 0 && args.Pred.MinDistK == 0 {
+		return nil, p.errf(opTok, "JOIN needs a genometric predicate (e.g. DLE(1000) or MD(1))")
+	}
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.JoinOp{Left: l, Right: r, Args: args}, nil
+}
+
+func (p *parser) coverOp(opTok token, variant string, clauses []clause) (engine.Node, error) {
+	args := engine.CoverArgs{}
+	switch variant {
+	case "COVER":
+		args.Variant = engine.CoverStandard
+	case "FLAT":
+		args.Variant = engine.CoverFlat
+	case "SUMMIT":
+		args.Variant = engine.CoverSummit
+	case "HISTOGRAM":
+		args.Variant = engine.CoverHistogram
+	}
+	boundsSeen := false
+	for _, c := range clauses {
+		switch c.name {
+		case "":
+			lo, hi, err := parseCoverBounds(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.Min, args.Max = lo, hi
+			boundsSeen = true
+		case "groupby":
+			names, err := identList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.GroupBy = names
+		case "aggregate":
+			aggs, err := parseAggList(c.toks)
+			if err != nil {
+				return nil, err
+			}
+			args.Aggs = aggs
+		default:
+			return nil, p.errf(opTok, "%s: unknown clause %q", variant, c.name)
+		}
+	}
+	if !boundsSeen {
+		return nil, p.errf(opTok, "%s needs accumulation bounds, e.g. %s(2, ANY)", variant, variant)
+	}
+	in, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.CoverOp{Input: in, Args: args}, nil
+}

@@ -1,0 +1,84 @@
+package gmql
+
+import (
+	"fmt"
+
+	"genogo/internal/engine"
+	"genogo/internal/gdm"
+)
+
+// Result is one materialized output of a script.
+type Result struct {
+	Var     string
+	Target  string
+	Dataset *gdm.Dataset
+}
+
+// Runner executes parsed GMQL programs against a dataset catalog. The
+// execution backend (serial / batch / stream) is whatever Config selects —
+// the program itself is backend-independent.
+type Runner struct {
+	Config  engine.Config
+	Catalog engine.Catalog
+	// DisableOptimizer skips the logical rewrite pass (ablation knob).
+	DisableOptimizer bool
+}
+
+// NewRunner returns a Runner with the default parallel configuration.
+func NewRunner(cat engine.Catalog) *Runner {
+	return &Runner{Config: engine.DefaultConfig(), Catalog: cat}
+}
+
+// plan resolves and optimizes the plan of one variable.
+func (r *Runner) plan(p *Program, name string) engine.Node {
+	plan := p.Plan(name)
+	if !r.DisableOptimizer {
+		plan = engine.Optimize(plan)
+	}
+	return plan
+}
+
+// Eval evaluates one variable of the program (whether or not it is
+// materialized), returning its dataset.
+func (r *Runner) Eval(p *Program, name string) (*gdm.Dataset, error) {
+	ds, err := engine.Run(r.Config, r.plan(p, name), r.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("gmql: evaluating %s: %w", name, err)
+	}
+	out := ds.Clone()
+	out.Name = name
+	out.SortRegions()
+	return out, nil
+}
+
+// Materialize evaluates every MATERIALIZE statement of the program, sharing
+// the work of common subplans across targets, and returns the results in
+// statement order.
+//
+// Note the laziness of GMQL: variables that no materialized result depends
+// on are never evaluated.
+func (r *Runner) Materialize(p *Program) ([]Result, error) {
+	if len(p.Materialized) == 0 {
+		return nil, fmt.Errorf("gmql: program materializes nothing")
+	}
+	session := engine.NewSession(r.Config, r.Catalog)
+	// Optimizing each target's plan in place keeps node identity for shared
+	// subtrees, so the session cache still deduplicates their execution.
+	results := make([]Result, 0, len(p.Materialized))
+	for _, m := range p.Materialized {
+		ds, err := session.Eval(r.plan(p, m.Var))
+		if err != nil {
+			return nil, fmt.Errorf("gmql: materializing %s: %w", m.Var, err)
+		}
+		out := ds.Clone()
+		out.Name = m.Target
+		out.SortRegions()
+		results = append(results, Result{Var: m.Var, Target: m.Target, Dataset: out})
+	}
+	return results, nil
+}
+
+// Explain renders the optimized plan of a variable for debugging.
+func (r *Runner) Explain(p *Program, name string) string {
+	return engine.Explain(r.plan(p, name))
+}

@@ -1,0 +1,393 @@
+// Package intervals provides the coordinate-algebra kernels that the GMQL
+// physical operators (MAP, genometric JOIN, COVER) are built on: a static
+// augmented interval tree, sorted-sweep overlap joins, coverage
+// accumulation, and nearest-neighbour search by genometric distance.
+//
+// All kernels work on one chromosome at a time over Entry slices sorted by
+// (Start, Stop); callers partition datasets by chromosome first (the binning
+// strategy the paper's parallel implementations use).
+package intervals
+
+import "sort"
+
+// Entry is one interval with an opaque payload, normally the index of the
+// region it came from. Coordinates are half-open [Start, Stop).
+type Entry struct {
+	Start, Stop int64
+	Payload     int32
+}
+
+// SortEntries sorts entries into the canonical (Start, Stop) order required
+// by every kernel in this package.
+func SortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Start != es[j].Start {
+			return es[i].Start < es[j].Start
+		}
+		return es[i].Stop < es[j].Stop
+	})
+}
+
+// Sorted reports whether the entries are in canonical order.
+func Sorted(es []Entry) bool {
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Start > es[i].Start ||
+			(es[i-1].Start == es[i].Start && es[i-1].Stop > es[i].Stop) {
+			return false
+		}
+	}
+	return true
+}
+
+// overlaps reports half-open interval intersection.
+func overlaps(aStart, aStop, bStart, bStop int64) bool {
+	return aStart < bStop && bStart < aStop
+}
+
+// Distance returns the genometric distance between two intervals: bases
+// between closest ends, 0 when touching, negative overlap width when
+// overlapping.
+func Distance(aStart, aStop, bStart, bStop int64) int64 {
+	switch {
+	case aStop <= bStart:
+		return bStart - aStop
+	case bStop <= aStart:
+		return aStart - bStop
+	default:
+		left := aStart
+		if bStart > left {
+			left = bStart
+		}
+		right := aStop
+		if bStop < right {
+			right = bStop
+		}
+		return -(right - left)
+	}
+}
+
+// Tree is a static interval tree: an implicit balanced binary tree over the
+// start-sorted entries, augmented with the maximum Stop of each subtree. It
+// answers stabbing and overlap queries in O(log n + k).
+type Tree struct {
+	entries []Entry
+	maxStop []int64 // maxStop[i] = max Stop over the subtree rooted at i
+}
+
+// BuildTree builds a tree over the entries. The input slice is sorted in
+// place if needed and retained by the tree.
+func BuildTree(entries []Entry) *Tree {
+	if !Sorted(entries) {
+		SortEntries(entries)
+	}
+	t := &Tree{entries: entries, maxStop: make([]int64, len(entries))}
+	t.build(0, len(entries)-1)
+	return t
+}
+
+// build computes subtree max-stops for the implicit tree rooted at the
+// midpoint of [lo, hi].
+func (t *Tree) build(lo, hi int) int64 {
+	if lo > hi {
+		return -1
+	}
+	mid := lo + (hi-lo)/2
+	m := t.entries[mid].Stop
+	if l := t.build(lo, mid-1); l > m {
+		m = l
+	}
+	if r := t.build(mid+1, hi); r > m {
+		m = r
+	}
+	t.maxStop[mid] = m
+	return m
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return len(t.entries) }
+
+// Overlapping calls fn for every entry overlapping [start, stop), in
+// canonical order. fn returning false stops the walk early.
+func (t *Tree) Overlapping(start, stop int64, fn func(Entry) bool) {
+	t.walk(0, len(t.entries)-1, start, stop, fn)
+}
+
+func (t *Tree) walk(lo, hi int, start, stop int64, fn func(Entry) bool) bool {
+	if lo > hi {
+		return true
+	}
+	mid := lo + (hi-lo)/2
+	if t.maxStop[mid] <= start {
+		// Nothing in this whole subtree can reach past `start`.
+		return true
+	}
+	if !t.walk(lo, mid-1, start, stop, fn) {
+		return false
+	}
+	e := t.entries[mid]
+	if e.Start >= stop {
+		// Entries right of mid start even later; only the left side and mid
+		// could overlap, and mid does not.
+		return true
+	}
+	if overlaps(e.Start, e.Stop, start, stop) {
+		if !fn(e) {
+			return false
+		}
+	}
+	return t.walk(mid+1, hi, start, stop, fn)
+}
+
+// CountOverlapping returns the number of entries overlapping [start, stop).
+func (t *Tree) CountOverlapping(start, stop int64) int {
+	n := 0
+	t.Overlapping(start, stop, func(Entry) bool { n++; return true })
+	return n
+}
+
+// SweepOverlaps enumerates every overlapping (left, right) pair of two
+// canonical-order entry slices with a single merge sweep. emit receives the
+// payloads; returning false aborts the sweep. The sweep is
+// O(n + m + pairs) and is the default MAP/JOIN kernel on sorted data.
+func SweepOverlaps(left, right []Entry, emit func(l, r Entry) bool) {
+	// active holds indices into `right` whose intervals may still overlap
+	// future left entries; it is pruned lazily.
+	var active []int
+	ri := 0
+	for li := range left {
+		l := left[li]
+		// Admit every right entry starting before the left entry ends.
+		for ri < len(right) && right[ri].Start < l.Stop {
+			active = append(active, ri)
+			ri++
+		}
+		// Emit overlaps, compacting away the rights that ended before l.
+		w := 0
+		for _, idx := range active {
+			r := right[idx]
+			if r.Stop <= l.Start {
+				continue // expired for this and every later left (starts are sorted)
+			}
+			active[w] = idx
+			w++
+			if overlaps(l.Start, l.Stop, r.Start, r.Stop) {
+				if !emit(l, r) {
+					return
+				}
+			}
+		}
+		active = active[:w]
+	}
+}
+
+// WithinWindow enumerates every (left, right) pair whose genometric distance
+// is at most maxDist (overlapping pairs have negative distance and always
+// qualify for maxDist >= 0). Both inputs must be in canonical order. emit
+// returning false aborts.
+func WithinWindow(left, right []Entry, maxDist int64, emit func(l, r Entry, dist int64) bool) {
+	if maxDist < 0 {
+		// Distance <= negative bound means overlap of at least |maxDist|;
+		// delegate to the overlap sweep with the extra check.
+		SweepOverlaps(left, right, func(l, r Entry) bool {
+			d := Distance(l.Start, l.Stop, r.Start, r.Stop)
+			if d <= maxDist {
+				return emit(l, r, d)
+			}
+			return true
+		})
+		return
+	}
+	lo := 0
+	for _, l := range left {
+		// Right entries with Stop < l.Start-maxDist can never qualify for
+		// this or any later left entry.
+		for lo < len(right) && right[lo].Stop < l.Start-maxDist {
+			lo++
+		}
+		for ri := lo; ri < len(right); ri++ {
+			r := right[ri]
+			if r.Start > l.Stop+maxDist {
+				break
+			}
+			d := Distance(l.Start, l.Stop, r.Start, r.Stop)
+			if d <= maxDist {
+				if !emit(l, r, d) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Nearest returns the entries among `sorted` that are the k nearest to the
+// query interval by genometric distance, ties broken by canonical order. It
+// expands a window around the query's insertion point; the left-side bound
+// uses the maximum interval length, so for genomic data (short, similarly
+// sized intervals) the expansion examines O(k) entries.
+func Nearest(sorted []Entry, qStart, qStop int64, k int) []Entry {
+	n := len(sorted)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	ml := maxLen(sorted)
+	// Position of the first entry starting at or after the query start.
+	pos := sort.Search(n, func(i int) bool { return sorted[i].Start >= qStart })
+
+	type cand struct {
+		idx  int
+		dist int64
+	}
+	// best holds up to k candidates sorted by (dist, idx).
+	best := make([]cand, 0, k+1)
+	insert := func(idx int, d int64) {
+		c := cand{idx, d}
+		i := sort.Search(len(best), func(i int) bool {
+			if best[i].dist != c.dist {
+				return best[i].dist > c.dist
+			}
+			return best[i].idx > c.idx
+		})
+		best = append(best, cand{})
+		copy(best[i+1:], best[i:])
+		best[i] = c
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	kth := func() int64 {
+		if len(best) < k {
+			return int64(1<<62 - 1)
+		}
+		return best[len(best)-1].dist
+	}
+
+	li, ri := pos-1, pos
+	for li >= 0 || ri < n {
+		// Lower bounds on the distance any remaining entry on each side can
+		// achieve. Right side: starts are >= sorted[ri].Start, so distance
+		// >= Start - qStop. Left side: stops are <= Start + ml, so distance
+		// >= qStart - (Start + ml).
+		leftOpen := li >= 0 && qStart-(sorted[li].Start+ml) <= kth()
+		rightOpen := ri < n && sorted[ri].Start-qStop <= kth()
+		if !leftOpen && !rightOpen {
+			break
+		}
+		if leftOpen {
+			e := sorted[li]
+			if d := Distance(qStart, qStop, e.Start, e.Stop); d <= kth() {
+				insert(li, d)
+			}
+			li--
+		}
+		if rightOpen {
+			e := sorted[ri]
+			if d := Distance(qStart, qStop, e.Start, e.Stop); d <= kth() {
+				insert(ri, d)
+			}
+			ri++
+		}
+	}
+	out := make([]Entry, len(best))
+	for i, c := range best {
+		out[i] = sorted[c.idx]
+	}
+	return out
+}
+
+func maxLen(es []Entry) int64 {
+	var m int64
+	for _, e := range es {
+		if l := e.Stop - e.Start; l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// CoverSegment is a maximal genomic segment with constant accumulation depth,
+// produced by Coverage. Segments are contiguous where depth > 0.
+type CoverSegment struct {
+	Start, Stop int64
+	Depth       int
+}
+
+// Coverage computes the accumulation profile of the entries: the sequence of
+// maximal segments with constant overlap depth (depth >= 1 only). This is the
+// COVER operator's kernel: COVER(minAcc, maxAcc) keeps segments whose depth
+// lies within bounds and coalesces adjacent survivors.
+func Coverage(entries []Entry) []CoverSegment {
+	if len(entries) == 0 {
+		return nil
+	}
+	type event struct {
+		pos   int64
+		delta int
+	}
+	evs := make([]event, 0, 2*len(entries))
+	for _, e := range entries {
+		if e.Stop <= e.Start {
+			continue // empty intervals contribute no coverage
+		}
+		evs = append(evs, event{e.Start, 1}, event{e.Stop, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].pos != evs[j].pos {
+			return evs[i].pos < evs[j].pos
+		}
+		return evs[i].delta > evs[j].delta // opens before closes at same pos
+	})
+	var out []CoverSegment
+	depth := 0
+	var segStart int64
+	for i := 0; i < len(evs); {
+		pos := evs[i].pos
+		if depth > 0 && segStart < pos {
+			// Coalesce with the previous segment when an open and a close at
+			// the same position cancelled out, keeping segments maximal.
+			if n := len(out); n > 0 && out[n-1].Stop == segStart && out[n-1].Depth == depth {
+				out[n-1].Stop = pos
+			} else {
+				out = append(out, CoverSegment{segStart, pos, depth})
+			}
+		}
+		for i < len(evs) && evs[i].pos == pos {
+			depth += evs[i].delta
+			i++
+		}
+		segStart = pos
+	}
+	return out
+}
+
+// Merge coalesces segments that touch or overlap into maximal intervals,
+// ignoring depth — the kernel behind COVER region assembly and the MERGE of
+// overlapping result regions.
+func Merge(segs []CoverSegment) []CoverSegment {
+	if len(segs) == 0 {
+		return nil
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		return segs[i].Stop < segs[j].Stop
+	})
+	out := []CoverSegment{segs[0]}
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.Start <= last.Stop {
+			if s.Stop > last.Stop {
+				last.Stop = s.Stop
+			}
+			if s.Depth > last.Depth {
+				last.Depth = s.Depth
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package intervals
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomEntries builds n random entries with starts in [0,span) and lengths
+// in [0,maxLen), sorted canonically.
+func randomEntries(rng *rand.Rand, n int, span, maxLength int64) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		start := rng.Int63n(span)
+		es[i] = Entry{Start: start, Stop: start + rng.Int63n(maxLength), Payload: int32(i)}
+	}
+	SortEntries(es)
+	return es
+}
+
+func bruteOverlapping(es []Entry, start, stop int64) []Entry {
+	var out []Entry
+	for _, e := range es {
+		if e.Start < stop && start < e.Stop {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestSortEntriesAndSorted(t *testing.T) {
+	es := []Entry{{5, 9, 0}, {1, 3, 1}, {1, 2, 2}}
+	if Sorted(es) {
+		t.Error("unsorted reported sorted")
+	}
+	SortEntries(es)
+	if !Sorted(es) {
+		t.Error("sorted reported unsorted")
+	}
+	if es[0] != (Entry{1, 2, 2}) || es[1] != (Entry{1, 3, 1}) || es[2] != (Entry{5, 9, 0}) {
+		t.Errorf("sorted = %v", es)
+	}
+}
+
+func TestDistanceKernel(t *testing.T) {
+	cases := []struct {
+		a0, a1, b0, b1, want int64
+	}{
+		{0, 10, 20, 30, 10},
+		{20, 30, 0, 10, 10},
+		{0, 10, 10, 20, 0},
+		{0, 10, 5, 20, -5},
+		{0, 10, 0, 10, -10},
+		{0, 100, 40, 50, -10},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a0, c.a1, c.b0, c.b1); got != c.want {
+			t.Errorf("Distance(%d,%d,%d,%d) = %d, want %d", c.a0, c.a1, c.b0, c.b1, got, c.want)
+		}
+	}
+}
+
+func TestTreeOverlappingSmall(t *testing.T) {
+	es := []Entry{{0, 5, 0}, {3, 8, 1}, {10, 20, 2}, {15, 16, 3}, {30, 40, 4}}
+	tree := BuildTree(append([]Entry(nil), es...))
+	if tree.Len() != 5 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	got := map[int32]bool{}
+	tree.Overlapping(4, 12, func(e Entry) bool { got[e.Payload] = true; return true })
+	for _, want := range []int32{0, 1, 2} {
+		if !got[want] {
+			t.Errorf("missing payload %d: %v", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("extra results: %v", got)
+	}
+	if n := tree.CountOverlapping(100, 200); n != 0 {
+		t.Errorf("empty query returned %d", n)
+	}
+	if n := tree.CountOverlapping(0, 100); n != 5 {
+		t.Errorf("full query returned %d", n)
+	}
+	// Early stop.
+	calls := 0
+	tree.Overlapping(0, 100, func(Entry) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop made %d calls", calls)
+	}
+}
+
+func TestTreeEmptyAndSingle(t *testing.T) {
+	empty := BuildTree(nil)
+	empty.Overlapping(0, 10, func(Entry) bool { t.Error("callback on empty tree"); return true })
+	one := BuildTree([]Entry{{5, 10, 7}})
+	if one.CountOverlapping(0, 6) != 1 || one.CountOverlapping(10, 20) != 0 {
+		t.Error("single-entry tree wrong")
+	}
+}
+
+func TestTreeAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		es := randomEntries(rng, 200, 1000, 50)
+		tree := BuildTree(append([]Entry(nil), es...))
+		for q := 0; q < 50; q++ {
+			start := rng.Int63n(1100) - 50
+			stop := start + rng.Int63n(120)
+			want := bruteOverlapping(es, start, stop)
+			var got []Entry
+			tree.Overlapping(start, stop, func(e Entry) bool { got = append(got, e); return true })
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query [%d,%d): got %d entries, want %d", trial, start, stop, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d query [%d,%d): got[%d]=%v want %v", trial, start, stop, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSweepOverlapsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		left := randomEntries(rng, 100, 500, 40)
+		right := randomEntries(rng, 120, 500, 40)
+		want := map[[2]int32]bool{}
+		for _, l := range left {
+			for _, r := range right {
+				if l.Start < r.Stop && r.Start < l.Stop {
+					want[[2]int32{l.Payload, r.Payload}] = true
+				}
+			}
+		}
+		got := map[[2]int32]bool{}
+		SweepOverlaps(left, right, func(l, r Entry) bool {
+			key := [2]int32{l.Payload, r.Payload}
+			if got[key] {
+				t.Fatalf("duplicate pair %v", key)
+			}
+			got[key] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d pairs, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: missing pair %v", trial, k)
+			}
+		}
+	}
+}
+
+func TestSweepOverlapsEarlyStop(t *testing.T) {
+	left := []Entry{{0, 10, 0}, {5, 15, 1}}
+	right := []Entry{{0, 100, 0}}
+	calls := 0
+	SweepOverlaps(left, right, func(l, r Entry) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop made %d calls", calls)
+	}
+}
+
+func TestWithinWindowAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, maxDist := range []int64{-5, 0, 10, 100} {
+		for trial := 0; trial < 20; trial++ {
+			left := randomEntries(rng, 80, 600, 30)
+			right := randomEntries(rng, 90, 600, 30)
+			want := map[[2]int32]int64{}
+			for _, l := range left {
+				for _, r := range right {
+					if d := Distance(l.Start, l.Stop, r.Start, r.Stop); d <= maxDist {
+						want[[2]int32{l.Payload, r.Payload}] = d
+					}
+				}
+			}
+			got := map[[2]int32]int64{}
+			WithinWindow(left, right, maxDist, func(l, r Entry, d int64) bool {
+				got[[2]int32{l.Payload, r.Payload}] = d
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("maxDist %d trial %d: got %d pairs, want %d", maxDist, trial, len(got), len(want))
+			}
+			for k, d := range want {
+				if got[k] != d {
+					t.Fatalf("maxDist %d: pair %v dist %d, want %d", maxDist, k, got[k], d)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinWindowEarlyStop(t *testing.T) {
+	left := []Entry{{0, 10, 0}}
+	right := []Entry{{12, 20, 0}, {15, 25, 1}}
+	calls := 0
+	WithinWindow(left, right, 50, func(l, r Entry, d int64) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop made %d calls", calls)
+	}
+}
+
+func TestNearestSmall(t *testing.T) {
+	es := []Entry{{0, 10, 0}, {20, 30, 1}, {35, 40, 2}, {100, 110, 3}}
+	// Distances from [31,33): entry 1 is 1 away, entry 2 is 2 away.
+	got := Nearest(es, 31, 33, 2)
+	if len(got) != 2 || got[0].Payload != 1 || got[1].Payload != 2 {
+		t.Errorf("Nearest = %v", got)
+	}
+	if got := Nearest(es, 0, 1, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := Nearest(nil, 0, 1, 3); got != nil {
+		t.Errorf("empty input returned %v", got)
+	}
+	if got := Nearest(es, 50, 60, 10); len(got) != 4 {
+		t.Errorf("k>n returned %d entries", len(got))
+	}
+}
+
+func TestNearestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		es := randomEntries(rng, 150, 2000, 80)
+		qStart := rng.Int63n(2200) - 100
+		qStop := qStart + rng.Int63n(100)
+		for _, k := range []int{1, 3, 7} {
+			got := Nearest(es, qStart, qStop, k)
+			// Brute force: sort by (dist, canonical index).
+			type cand struct {
+				i int
+				d int64
+			}
+			cs := make([]cand, len(es))
+			for i, e := range es {
+				cs[i] = cand{i, Distance(qStart, qStop, e.Start, e.Stop)}
+			}
+			sort.Slice(cs, func(i, j int) bool {
+				if cs[i].d != cs[j].d {
+					return cs[i].d < cs[j].d
+				}
+				return cs[i].i < cs[j].i
+			})
+			if len(got) != k {
+				t.Fatalf("trial %d k=%d: got %d entries", trial, k, len(got))
+			}
+			for i := 0; i < k; i++ {
+				if got[i] != es[cs[i].i] {
+					t.Fatalf("trial %d k=%d: got[%d]=%v want %v (dist %d)",
+						trial, k, i, got[i], es[cs[i].i], cs[i].d)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverageSmall(t *testing.T) {
+	es := []Entry{{0, 10, 0}, {5, 15, 1}, {20, 25, 2}, {20, 25, 3}}
+	segs := Coverage(es)
+	want := []CoverSegment{{0, 5, 1}, {5, 10, 2}, {10, 15, 1}, {20, 25, 2}}
+	if len(segs) != len(want) {
+		t.Fatalf("Coverage = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("segs[%d] = %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestCoverageEdgeCases(t *testing.T) {
+	if Coverage(nil) != nil {
+		t.Error("empty input")
+	}
+	// Empty intervals contribute nothing.
+	if segs := Coverage([]Entry{{5, 5, 0}}); len(segs) != 0 {
+		t.Errorf("zero-length interval produced %v", segs)
+	}
+	// Touching intervals: depth stays 1 across the boundary, so the two
+	// intervals coalesce into one maximal segment.
+	segs := Coverage([]Entry{{0, 10, 0}, {10, 20, 1}})
+	if len(segs) != 1 || segs[0] != (CoverSegment{0, 20, 1}) {
+		t.Errorf("touching = %v", segs)
+	}
+}
+
+func TestCoverageInvariantsQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		es := make([]Entry, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			start := int64(raw[i] % 500)
+			es = append(es, Entry{Start: start, Stop: start + int64(raw[i+1]%50), Payload: int32(i)})
+		}
+		SortEntries(es)
+		segs := Coverage(es)
+		totalLen := int64(0)
+		for i, s := range segs {
+			if s.Depth < 1 || s.Stop <= s.Start {
+				return false
+			}
+			if i > 0 && s.Start < segs[i-1].Stop {
+				return false // segments must not overlap
+			}
+			if i > 0 && s.Start == segs[i-1].Stop && s.Depth == segs[i-1].Depth {
+				return false // adjacent equal-depth segments must be merged
+			}
+			totalLen += (s.Stop - s.Start) * int64(s.Depth)
+		}
+		// Conservation: sum of depth*length equals total interval length.
+		var want int64
+		for _, e := range es {
+			if e.Stop > e.Start {
+				want += e.Stop - e.Start
+			}
+		}
+		return totalLen == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	segs := []CoverSegment{{20, 30, 1}, {0, 10, 2}, {8, 15, 1}, {30, 35, 3}}
+	got := Merge(segs)
+	want := []CoverSegment{{0, 15, 2}, {20, 35, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Merge = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Merge[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Merge(nil) != nil {
+		t.Error("Merge(nil) non-nil")
+	}
+}
+
+func TestMergeProducesDisjointQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		segs := make([]CoverSegment, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			start := int64(raw[i] % 300)
+			segs = append(segs, CoverSegment{start, start + int64(raw[i+1]%40) + 1, 1})
+		}
+		out := Merge(segs)
+		for i := 1; i < len(out); i++ {
+			if out[i].Start <= out[i-1].Stop {
+				return false
+			}
+		}
+		// Every input is covered by some output.
+		for _, s := range segs {
+			ok := false
+			for _, o := range out {
+				if o.Start <= s.Start && s.Stop <= o.Stop {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

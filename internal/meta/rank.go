@@ -1,0 +1,113 @@
+package meta
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// RankedEntry is a search hit with a relevance score.
+type RankedEntry struct {
+	Entry
+	Score float64
+}
+
+// SearchRanked answers a free-text query with entries ranked by a TF-IDF
+// score: each query token contributes its inverse document frequency to
+// every entry matching it, so rare, discriminative terms (a specific
+// antibody) outweigh ubiquitous ones (the assay name every sample carries).
+// This realizes the "classical measures" ranking of the paper's Section 4.5
+// metadata search. Entries matching no token are omitted; ties break by
+// entry order.
+func (s *Store) SearchRanked(query string) []RankedEntry {
+	tokens := tokenize(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	n := float64(len(s.entries))
+	scores := make(map[int]float64)
+	seenToken := make(map[string]bool)
+	for _, tok := range tokens {
+		if seenToken[tok] {
+			continue
+		}
+		seenToken[tok] = true
+		matches := s.matchOne(tok)
+		if len(matches) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(matches)))
+		for idx := range matches {
+			// Term frequency inside one sample's metadata is almost always
+			// 0/1 (attributes are near-unique), so the score reduces to a
+			// sum of matched idfs weighted by how exactly the token matched.
+			weight := 1.0
+			if exactTokenMatch(s.entries[idx], tok) {
+				weight = 2.0
+			}
+			scores[idx] += idf * weight
+		}
+	}
+	out := make([]RankedEntry, 0, len(scores))
+	for idx, score := range scores {
+		out = append(out, RankedEntry{Entry: s.entries[idx], Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// exactTokenMatch reports whether the token equals (rather than merely
+// being contained in) one of the entry's metadata tokens.
+func exactTokenMatch(e Entry, tok string) bool {
+	for _, p := range e.Meta.Pairs() {
+		for _, t := range tokenize(p[0]) {
+			if t == tok {
+				return true
+			}
+		}
+		for _, t := range tokenize(p[1]) {
+			if t == tok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Suggest returns up to k attribute values starting with the prefix,
+// ordered by how many samples carry them — the type-ahead primitive of a
+// search UI over the repository.
+func (s *Store) Suggest(prefix string, k int) []string {
+	prefix = strings.ToLower(strings.TrimSpace(prefix))
+	if prefix == "" || k <= 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for _, e := range s.entries {
+		for _, p := range e.Meta.Pairs() {
+			v := p[1]
+			if strings.HasPrefix(strings.ToLower(v), prefix) {
+				counts[v]++
+			}
+		}
+	}
+	vals := make([]string, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if counts[vals[i]] != counts[vals[j]] {
+			return counts[vals[i]] > counts[vals[j]]
+		}
+		return vals[i] < vals[j]
+	})
+	if k < len(vals) {
+		vals = vals[:k]
+	}
+	return vals
+}

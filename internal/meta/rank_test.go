@@ -1,0 +1,84 @@
+package meta
+
+import (
+	"testing"
+
+	"genogo/internal/gdm"
+)
+
+func rankStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	ds := gdm.NewDataset("D", gdm.MustSchema())
+	add := func(id string, kv map[string]string) {
+		smp := gdm.NewSample(id)
+		for k, v := range kv {
+			smp.Meta.Add(k, v)
+		}
+		ds.MustAdd(smp)
+	}
+	// "ChipSeq" is ubiquitous; "CTCF" is rare and discriminative.
+	add("s1", map[string]string{"dataType": "ChipSeq", "antibody": "CTCF"})
+	add("s2", map[string]string{"dataType": "ChipSeq", "antibody": "MYC"})
+	add("s3", map[string]string{"dataType": "ChipSeq", "antibody": "REST"})
+	add("s4", map[string]string{"dataType": "ChipSeq"})
+	add("s5", map[string]string{"dataType": "RnaSeq"})
+	s.AddDataset(ds)
+	return s
+}
+
+func TestSearchRankedPrefersRareTerms(t *testing.T) {
+	s := rankStore(t)
+	hits := s.SearchRanked("ChipSeq CTCF")
+	if len(hits) != 4 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	// s1 matches both tokens, the rare one included: it must rank first
+	// with a strictly higher score.
+	if hits[0].Sample != "s1" {
+		t.Errorf("top hit = %s", hits[0].Sample)
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Errorf("scores not discriminating: %v vs %v", hits[0].Score, hits[1].Score)
+	}
+	// Scores are non-increasing.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Errorf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestSearchRankedEdgeCases(t *testing.T) {
+	s := rankStore(t)
+	if got := s.SearchRanked(""); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := s.SearchRanked("zzz-nothing"); len(got) != 0 {
+		t.Errorf("no-match query = %v", got)
+	}
+	// Repeated tokens count once.
+	a := s.SearchRanked("CTCF")
+	b := s.SearchRanked("CTCF CTCF CTCF")
+	if len(a) != len(b) || a[0].Score != b[0].Score {
+		t.Errorf("repeated tokens changed scoring: %v vs %v", a[0].Score, b[0].Score)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	s := rankStore(t)
+	got := s.Suggest("C", 5)
+	// "ChipSeq" appears 4 times, "CTCF" once.
+	if len(got) != 2 || got[0] != "ChipSeq" || got[1] != "CTCF" {
+		t.Errorf("Suggest = %v", got)
+	}
+	if got := s.Suggest("C", 1); len(got) != 1 || got[0] != "ChipSeq" {
+		t.Errorf("Suggest k=1 = %v", got)
+	}
+	if s.Suggest("", 5) != nil || s.Suggest("C", 0) != nil {
+		t.Error("degenerate suggest not nil")
+	}
+	if got := s.Suggest("zzz", 5); len(got) != 0 {
+		t.Errorf("no-prefix suggest = %v", got)
+	}
+}

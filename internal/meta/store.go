@@ -1,0 +1,230 @@
+// Package meta implements the metadata-side services of the paper: an
+// indexed store of sample metadata across datasets, keyword search (Section
+// 4.5 "metadata search"), ontology-mediated search with semantic closure
+// (Section 4.3), precision/recall evaluation, and a LIMS-style curation
+// report for the metadata sloppiness Section 1 describes.
+package meta
+
+import (
+	"sort"
+	"strings"
+
+	"genogo/internal/gdm"
+	"genogo/internal/ontology"
+)
+
+// Entry identifies one sample's metadata inside the store.
+type Entry struct {
+	Dataset string
+	Sample  string
+	Meta    *gdm.Metadata
+}
+
+// Key returns the unique "dataset/sample" key of the entry.
+func (e Entry) Key() string { return e.Dataset + "/" + e.Sample }
+
+// Store indexes sample metadata for search.
+type Store struct {
+	entries []Entry
+	// token index: lower-cased whitespace token -> entry indices (sorted,
+	// unique).
+	tokens map[string][]int
+	// concept index, filled by AnnotateWith.
+	concepts  map[string][]int
+	annotated bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tokens: make(map[string][]int), concepts: make(map[string][]int)}
+}
+
+// AddDataset indexes every sample of the dataset.
+func (s *Store) AddDataset(ds *gdm.Dataset) {
+	for _, smp := range ds.Samples {
+		s.Add(Entry{Dataset: ds.Name, Sample: smp.ID, Meta: smp.Meta})
+	}
+}
+
+// Add indexes one entry.
+func (s *Store) Add(e Entry) {
+	idx := len(s.entries)
+	s.entries = append(s.entries, e)
+	seen := make(map[string]bool)
+	for _, p := range e.Meta.Pairs() {
+		for _, tok := range tokenize(p[0]) {
+			seen[tok] = true
+		}
+		for _, tok := range tokenize(p[1]) {
+			seen[tok] = true
+		}
+	}
+	for tok := range seen {
+		s.tokens[tok] = append(s.tokens[tok], idx)
+	}
+}
+
+// Len returns the number of indexed samples.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Entries returns all indexed entries.
+func (s *Store) Entries() []Entry { return s.entries }
+
+// tokenize lower-cases and splits on non-alphanumeric boundaries, keeping
+// the full normalized string too so multi-word terms match exactly.
+func tokenize(text string) []string {
+	lower := strings.ToLower(strings.TrimSpace(text))
+	if lower == "" {
+		return nil
+	}
+	fields := strings.FieldsFunc(lower, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	out := append(fields, lower)
+	return out
+}
+
+// SearchKeyword returns the entries whose metadata matches every keyword.
+// A keyword matches via the token index when it is a single token, and via
+// substring scan otherwise, mirroring free-text search services.
+func (s *Store) SearchKeyword(keywords ...string) []Entry {
+	if len(keywords) == 0 {
+		return nil
+	}
+	var result map[int]bool
+	for _, kw := range keywords {
+		matches := s.matchOne(kw)
+		if result == nil {
+			result = matches
+			continue
+		}
+		for idx := range result {
+			if !matches[idx] {
+				delete(result, idx)
+			}
+		}
+	}
+	return s.collect(result)
+}
+
+// SearchAny returns entries matching at least one of the keywords — the
+// primitive ontological expansion builds on.
+func (s *Store) SearchAny(keywords ...string) []Entry {
+	result := make(map[int]bool)
+	for _, kw := range keywords {
+		for idx := range s.matchOne(kw) {
+			result[idx] = true
+		}
+	}
+	return s.collect(result)
+}
+
+func (s *Store) matchOne(kw string) map[int]bool {
+	out := make(map[int]bool)
+	lower := strings.ToLower(strings.TrimSpace(kw))
+	if lower == "" {
+		return out
+	}
+	if idxs, ok := s.tokens[lower]; ok {
+		for _, i := range idxs {
+			out[i] = true
+		}
+	}
+	// Substring fallback catches partial words and multi-word phrases that
+	// are not verbatim values.
+	for i, e := range s.entries {
+		if !out[i] && e.Meta.MatchText(lower) {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func (s *Store) collect(set map[int]bool) []Entry {
+	idxs := make([]int, 0, len(set))
+	for i := range set {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Entry, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.entries[idx]
+	}
+	return out
+}
+
+// AnnotateWith computes the semantic annotation (with closure) of every
+// entry against the ontology and builds the concept index — the
+// preprocessing step of [16].
+func (s *Store) AnnotateWith(o *ontology.Ontology) {
+	s.concepts = make(map[string][]int)
+	for i, e := range s.entries {
+		for _, c := range o.Annotate(e.Meta) {
+			s.concepts[c] = append(s.concepts[c], i)
+		}
+	}
+	s.annotated = true
+}
+
+// SearchOntological resolves the term against the ontology and returns every
+// entry annotated with a matching concept or any of its descendants.
+// Entries are found even when their metadata uses a synonym or a subclass
+// of the query term (searching "cancer" finds HeLa-S3 samples). Requires
+// AnnotateWith first; falls back to keyword search otherwise.
+func (s *Store) SearchOntological(o *ontology.Ontology, term string) []Entry {
+	if !s.annotated {
+		return s.SearchKeyword(term)
+	}
+	ids := o.ConceptsFor(term)
+	if len(ids) == 0 {
+		return s.SearchKeyword(term)
+	}
+	set := make(map[int]bool)
+	for _, id := range ids {
+		for _, idx := range s.concepts[id] {
+			set[idx] = true
+		}
+	}
+	return s.collect(set)
+}
+
+// PrecisionRecall computes the classic retrieval measures of Section 4.5
+// against a relevant-set keyed by Entry.Key().
+func PrecisionRecall(got []Entry, relevant map[string]bool) (precision, recall float64) {
+	if len(got) == 0 {
+		if len(relevant) == 0 {
+			return 1, 1
+		}
+		return 1, 0
+	}
+	hit := 0
+	for _, e := range got {
+		if relevant[e.Key()] {
+			hit++
+		}
+	}
+	precision = float64(hit) / float64(len(got))
+	if len(relevant) == 0 {
+		recall = 1
+	} else {
+		recall = float64(hit) / float64(len(relevant))
+	}
+	return precision, recall
+}
+
+// CurationReport counts, per mandatory attribute, how many indexed samples
+// omit it — the LIMS compliance check Section 1 motivates ("biologists are
+// very liberal in omitting most of it").
+func (s *Store) CurationReport(mandatory []string) map[string]int {
+	out := make(map[string]int, len(mandatory))
+	for _, attr := range mandatory {
+		missing := 0
+		for _, e := range s.entries {
+			if !e.Meta.Has(attr) {
+				missing++
+			}
+		}
+		out[attr] = missing
+	}
+	return out
+}

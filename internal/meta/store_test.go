@@ -1,0 +1,178 @@
+package meta
+
+import (
+	"testing"
+
+	"genogo/internal/gdm"
+	"genogo/internal/ontology"
+	"genogo/internal/synth"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	schema := gdm.MustSchema()
+	ds := gdm.NewDataset("ENCODE", schema)
+	add := func(id string, kv map[string]string) {
+		smp := gdm.NewSample(id)
+		for k, v := range kv {
+			smp.Meta.Add(k, v)
+		}
+		ds.MustAdd(smp)
+	}
+	add("s1", map[string]string{"cell": "HeLa-S3", "dataType": "ChipSeq", "antibody": "CTCF"})
+	add("s2", map[string]string{"cell": "K562", "dataType": "ChipSeq", "antibody": "H3K27ac"})
+	add("s3", map[string]string{"cell": "GM12878", "dataType": "RnaSeq"})
+	add("s4", map[string]string{"cell": "HepG2", "dataType": "DnaseSeq", "treatment": "IFNg"})
+	s.AddDataset(ds)
+	return s
+}
+
+func keys(es []Entry) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range es {
+		out[e.Key()] = true
+	}
+	return out
+}
+
+func TestSearchKeyword(t *testing.T) {
+	s := testStore(t)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := keys(s.SearchKeyword("chipseq"))
+	if len(got) != 2 || !got["ENCODE/s1"] || !got["ENCODE/s2"] {
+		t.Errorf("chipseq = %v", got)
+	}
+	got = keys(s.SearchKeyword("ChipSeq", "CTCF"))
+	if len(got) != 1 || !got["ENCODE/s1"] {
+		t.Errorf("AND query = %v", got)
+	}
+	// Substring matching: "hela" matches HeLa-S3.
+	got = keys(s.SearchKeyword("hela"))
+	if len(got) != 1 || !got["ENCODE/s1"] {
+		t.Errorf("substring = %v", got)
+	}
+	if len(s.SearchKeyword("nonexistent")) != 0 {
+		t.Error("phantom match")
+	}
+	if s.SearchKeyword() != nil {
+		t.Error("empty query returned entries")
+	}
+}
+
+func TestSearchAny(t *testing.T) {
+	s := testStore(t)
+	got := keys(s.SearchAny("k562", "gm12878"))
+	if len(got) != 2 || !got["ENCODE/s2"] || !got["ENCODE/s3"] {
+		t.Errorf("SearchAny = %v", got)
+	}
+}
+
+func TestOntologicalSearchBeatsKeyword(t *testing.T) {
+	s := testStore(t)
+	o := ontology.Biomedical()
+
+	// Plain keyword search for "cancer" finds nothing: no sample says
+	// "cancer" verbatim.
+	kw := s.SearchKeyword("cancer")
+	if len(kw) != 0 {
+		t.Fatalf("keyword cancer = %v", keys(kw))
+	}
+	// Ontological search finds the three cancer cell line samples.
+	s.AnnotateWith(o)
+	got := keys(s.SearchOntological(o, "cancer"))
+	want := map[string]bool{"ENCODE/s1": true, "ENCODE/s2": true, "ENCODE/s4": true}
+	if len(got) != len(want) {
+		t.Fatalf("ontological cancer = %v", got)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing %s", k)
+		}
+	}
+	// Recall monotonicity (DESIGN.md invariant): expansion only adds.
+	for _, term := range []string{"ChipSeq", "K562", "sequencing assay", "histone mark"} {
+		kwSet := keys(s.SearchKeyword(term))
+		ontSet := keys(s.SearchOntological(o, term))
+		for k := range kwSet {
+			if !ontSet[k] {
+				t.Errorf("term %q: ontological search lost keyword hit %s", term, k)
+			}
+		}
+	}
+}
+
+func TestSearchOntologicalFallbacks(t *testing.T) {
+	s := testStore(t)
+	o := ontology.Biomedical()
+	// Without annotation, falls back to keyword.
+	if got := s.SearchOntological(o, "K562"); len(got) != 1 {
+		t.Errorf("fallback without annotation = %d", len(got))
+	}
+	s.AnnotateWith(o)
+	// Unknown term falls back to keyword search.
+	if got := s.SearchOntological(o, "IFNg"); len(got) != 1 {
+		t.Errorf("unknown-term fallback = %d", len(got))
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	entries := []Entry{
+		{Dataset: "D", Sample: "a"}, {Dataset: "D", Sample: "b"}, {Dataset: "D", Sample: "c"},
+	}
+	relevant := map[string]bool{"D/a": true, "D/b": true, "D/x": true}
+	p, r := PrecisionRecall(entries, relevant)
+	if p < 0.66 || p > 0.67 {
+		t.Errorf("precision = %v", p)
+	}
+	if r < 0.66 || r > 0.67 {
+		t.Errorf("recall = %v", r)
+	}
+	p, r = PrecisionRecall(nil, relevant)
+	if p != 1 || r != 0 {
+		t.Errorf("empty result: p=%v r=%v", p, r)
+	}
+	p, r = PrecisionRecall(nil, nil)
+	if p != 1 || r != 1 {
+		t.Errorf("empty/empty: p=%v r=%v", p, r)
+	}
+	p, r = PrecisionRecall(entries, nil)
+	if p != 0 || r != 1 {
+		t.Errorf("irrelevant results: p=%v r=%v", p, r)
+	}
+}
+
+func TestCurationReport(t *testing.T) {
+	s := testStore(t)
+	rep := s.CurationReport([]string{"cell", "antibody", "treatment"})
+	if rep["cell"] != 0 {
+		t.Errorf("cell missing = %d", rep["cell"])
+	}
+	if rep["antibody"] != 2 {
+		t.Errorf("antibody missing = %d", rep["antibody"])
+	}
+	if rep["treatment"] != 3 {
+		t.Errorf("treatment missing = %d", rep["treatment"])
+	}
+}
+
+func TestStoreWithSyntheticEncode(t *testing.T) {
+	s := NewStore()
+	ds := synth.New(9).Encode(synth.EncodeOptions{Samples: 300, MeanPeaks: 5})
+	s.AddDataset(ds)
+	o := ontology.Biomedical()
+	s.AnnotateWith(o)
+	// Every ChipSeq sample must be retrievable through the assay superclass.
+	chip := keys(s.SearchKeyword("ChipSeq"))
+	seqAssay := keys(s.SearchOntological(o, "sequencing assay"))
+	for k := range chip {
+		if !seqAssay[k] {
+			t.Fatalf("ChipSeq sample %s not found under 'sequencing assay'", k)
+		}
+	}
+	if len(seqAssay) < len(chip) {
+		t.Error("superclass search smaller than subclass search")
+	}
+}

@@ -1,0 +1,181 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseOBO reads an ontology from the OBO flat-file subset that biomedical
+// ontologies (GO, Cell Ontology, UBERON — the vocabularies UMLS integrates)
+// are distributed in:
+//
+//	[Term]
+//	id: CL:0000000
+//	name: cell
+//	synonym: "cellule" EXACT []
+//	is_a: CL:0000003 ! native cell
+//
+// Supported tags: id, name, synonym (the quoted form and the bare form),
+// is_a (with optional "! comment" suffix), and is_obsolete (obsolete terms
+// are skipped). Unknown tags and non-[Term] stanzas are ignored, so real
+// OBO headers parse cleanly. Forward is_a references are allowed: terms are
+// linked after the whole file is read.
+func ParseOBO(r io.Reader) (*Ontology, error) {
+	type term struct {
+		id, name string
+		synonyms []string
+		parents  []string
+		obsolete bool
+		line     int
+	}
+	var terms []*term
+	var cur *term
+	inTerm := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	flush := func() {
+		if cur != nil && !cur.obsolete {
+			terms = append(terms, cur)
+		}
+		cur = nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "["):
+			flush()
+			inTerm = line == "[Term]"
+			if inTerm {
+				cur = &term{line: lineNo}
+			}
+			continue
+		case !inTerm || cur == nil:
+			continue
+		}
+		tag, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("ontology: obo line %d: no tag separator in %q", lineNo, line)
+		}
+		value = strings.TrimSpace(value)
+		switch strings.TrimSpace(tag) {
+		case "id":
+			cur.id = value
+		case "name":
+			cur.name = value
+		case "synonym":
+			cur.synonyms = append(cur.synonyms, oboSynonym(value))
+		case "is_a":
+			// "CL:0000003 ! native cell" — strip the comment.
+			if bang := strings.Index(value, "!"); bang >= 0 {
+				value = strings.TrimSpace(value[:bang])
+			}
+			cur.parents = append(cur.parents, value)
+		case "is_obsolete":
+			cur.obsolete = strings.EqualFold(value, "true")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: obo: %w", err)
+	}
+	flush()
+
+	// Validate and topologically insert: parents must exist somewhere in
+	// the file (Add requires parents first).
+	byID := make(map[string]*term, len(terms))
+	for _, t := range terms {
+		if t.id == "" {
+			return nil, fmt.Errorf("ontology: obo term at line %d has no id", t.line)
+		}
+		if t.name == "" {
+			t.name = t.id
+		}
+		if byID[t.id] != nil {
+			return nil, fmt.Errorf("ontology: obo duplicate term %q", t.id)
+		}
+		byID[t.id] = t
+	}
+	o := New()
+	// Kahn-style insertion; detects cycles and dangling parents.
+	pending := make(map[string]*term, len(byID))
+	for id, t := range byID {
+		for _, p := range t.parents {
+			if byID[p] == nil {
+				return nil, fmt.Errorf("ontology: obo term %q: unknown parent %q", id, p)
+			}
+		}
+		pending[id] = t
+	}
+	for len(pending) > 0 {
+		var ready []string
+		for id, t := range pending {
+			ok := true
+			for _, p := range t.parents {
+				if _, waiting := pending[p]; waiting {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, id)
+			}
+		}
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("ontology: obo is_a cycle among %d terms", len(pending))
+		}
+		sort.Strings(ready)
+		for _, id := range ready {
+			t := pending[id]
+			if err := o.Add(t.id, t.name, t.synonyms, t.parents...); err != nil {
+				return nil, err
+			}
+			delete(pending, id)
+		}
+	}
+	return o, nil
+}
+
+// oboSynonym extracts the synonym text: quoted OBO form or bare text.
+func oboSynonym(v string) string {
+	if strings.HasPrefix(v, `"`) {
+		if end := strings.Index(v[1:], `"`); end >= 0 {
+			return v[1 : 1+end]
+		}
+	}
+	return v
+}
+
+// WriteOBO renders the ontology back to the OBO subset ParseOBO reads, so
+// curated stand-ins can be exported, hand-edited and reloaded.
+func (o *Ontology) WriteOBO(w io.Writer) error {
+	ids := make([]string, 0, len(o.concepts))
+	for id := range o.concepts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "format-version: 1.2\n")
+	for _, id := range ids {
+		c := o.concepts[id]
+		fmt.Fprintf(bw, "\n[Term]\nid: %s\nname: %s\n", c.ID, c.Name)
+		for _, s := range c.Synonyms {
+			fmt.Fprintf(bw, "synonym: %q EXACT []\n", s)
+		}
+		parents := append([]string(nil), c.Parents...)
+		sort.Strings(parents)
+		for _, p := range parents {
+			fmt.Fprintf(bw, "is_a: %s ! %s\n", p, o.concepts[p].Name)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ontology: obo: %w", err)
+	}
+	return nil
+}

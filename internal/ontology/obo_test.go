@@ -1,0 +1,141 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOBO = `format-version: 1.2
+date: 01:01:2016
+saved-by: curator
+
+[Term]
+id: X:ROOT
+name: thing
+
+[Term]
+id: X:CELL
+name: cell
+synonym: "cellule" EXACT []
+is_a: X:ROOT ! thing
+
+[Term]
+id: X:CANCERCELL
+name: cancer cell
+synonym: "tumor cell" EXACT []
+is_a: X:CELL ! cell
+
+[Term]
+id: X:HELA
+name: HeLa
+is_a: X:CANCERCELL ! cancer cell
+
+[Term]
+id: X:OLD
+name: deprecated thing
+is_obsolete: true
+
+[Typedef]
+id: part_of
+name: part of
+`
+
+func TestParseOBO(t *testing.T) {
+	o, err := ParseOBO(strings.NewReader(sampleOBO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 4 {
+		t.Fatalf("Len = %d (obsolete term must be skipped)", o.Len())
+	}
+	if c := o.Concept("X:HELA"); c == nil || c.Name != "HeLa" {
+		t.Fatal("HeLa missing")
+	}
+	anc := o.Ancestors("X:HELA")
+	if len(anc) != 3 {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if ids := o.Lookup("cellule"); len(ids) != 1 || ids[0] != "X:CELL" {
+		t.Errorf("synonym lookup = %v", ids)
+	}
+	if ids := o.Lookup("tumor cell"); len(ids) != 1 || ids[0] != "X:CANCERCELL" {
+		t.Errorf("quoted synonym lookup = %v", ids)
+	}
+	if o.Concept("X:OLD") != nil {
+		t.Error("obsolete term loaded")
+	}
+	if o.Concept("part_of") != nil {
+		t.Error("Typedef stanza loaded as term")
+	}
+}
+
+func TestParseOBOForwardReference(t *testing.T) {
+	// Child defined before its parent: the linker must handle it.
+	src := `
+[Term]
+id: B
+name: b
+is_a: A
+
+[Term]
+id: A
+name: a
+`
+	o, err := ParseOBO(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anc := o.Ancestors("B"); len(anc) != 1 || anc[0] != "A" {
+		t.Errorf("Ancestors(B) = %v", anc)
+	}
+}
+
+func TestParseOBOErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-id":        "[Term]\nname: x\n",
+		"dup":          "[Term]\nid: A\nname: a\n\n[Term]\nid: A\nname: a2\n",
+		"dangling":     "[Term]\nid: A\nname: a\nis_a: MISSING\n",
+		"cycle":        "[Term]\nid: A\nname: a\nis_a: B\n\n[Term]\nid: B\nname: b\nis_a: A\n",
+		"no-separator": "[Term]\nid: A\nname: a\nbroken line without colon... wait",
+	}
+	// "no-separator" actually has colons; craft a real one.
+	cases["no-separator"] = "[Term]\nid A\n"
+	for name, src := range cases {
+		if _, err := ParseOBO(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestOBORoundTrip(t *testing.T) {
+	orig := Biomedical()
+	var buf bytes.Buffer
+	if err := orig.WriteOBO(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOBO(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("Len %d vs %d", back.Len(), orig.Len())
+	}
+	// Structure must survive: same ancestors for every concept.
+	for id := range orig.concepts {
+		a, b := orig.Ancestors(id), back.Ancestors(id)
+		if len(a) != len(b) {
+			t.Errorf("%s ancestors %v vs %v", id, a, b)
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s ancestor %d: %s vs %s", id, i, a[i], b[i])
+			}
+		}
+	}
+	// Synonyms survive too.
+	if ids := back.Lookup("neoplasm"); len(ids) != 1 {
+		t.Errorf("synonym lost in round trip: %v", ids)
+	}
+}

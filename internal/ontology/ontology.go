@@ -1,0 +1,274 @@
+// Package ontology implements the ontological-knowledge mediation of
+// Section 4.3 of the paper: a compact biomedical ontology (standing in for
+// UMLS) with IS-A edges and synonyms, semantic annotation of sample
+// metadata, semantic closure of annotations, and ontological query
+// expansion for metadata search.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genogo/internal/gdm"
+)
+
+// Concept is one ontology node.
+type Concept struct {
+	ID       string
+	Name     string
+	Synonyms []string
+	Parents  []string // IS-A edges
+}
+
+// Ontology is a DAG of concepts with a surface-term index.
+type Ontology struct {
+	concepts map[string]*Concept
+	children map[string][]string
+	byTerm   map[string][]string // normalized surface term -> concept IDs
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		concepts: make(map[string]*Concept),
+		children: make(map[string][]string),
+		byTerm:   make(map[string][]string),
+	}
+}
+
+func norm(term string) string { return strings.ToLower(strings.TrimSpace(term)) }
+
+// Add inserts a concept. Parents must already exist (add roots first), which
+// keeps the graph acyclic by construction.
+func (o *Ontology) Add(id, name string, synonyms []string, parents ...string) error {
+	if id == "" {
+		return fmt.Errorf("ontology: empty concept ID")
+	}
+	if _, dup := o.concepts[id]; dup {
+		return fmt.Errorf("ontology: duplicate concept %q", id)
+	}
+	for _, p := range parents {
+		if _, ok := o.concepts[p]; !ok {
+			return fmt.Errorf("ontology: concept %q: unknown parent %q", id, p)
+		}
+	}
+	c := &Concept{ID: id, Name: name, Synonyms: synonyms, Parents: parents}
+	o.concepts[id] = c
+	for _, p := range parents {
+		o.children[p] = append(o.children[p], id)
+	}
+	o.byTerm[norm(name)] = append(o.byTerm[norm(name)], id)
+	for _, s := range synonyms {
+		o.byTerm[norm(s)] = append(o.byTerm[norm(s)], id)
+	}
+	return nil
+}
+
+// MustAdd is Add for statically known hierarchies.
+func (o *Ontology) MustAdd(id, name string, synonyms []string, parents ...string) {
+	if err := o.Add(id, name, synonyms, parents...); err != nil {
+		panic(err)
+	}
+}
+
+// Concept returns the concept with the given ID, or nil.
+func (o *Ontology) Concept(id string) *Concept { return o.concepts[id] }
+
+// Len returns the number of concepts.
+func (o *Ontology) Len() int { return len(o.concepts) }
+
+// Lookup resolves a surface term (name or synonym, case-insensitive) to
+// concept IDs.
+func (o *Ontology) Lookup(term string) []string {
+	ids := append([]string(nil), o.byTerm[norm(term)]...)
+	sort.Strings(ids)
+	return ids
+}
+
+// Ancestors returns the transitive IS-A ancestors of a concept — the
+// "semantic closure" of [17] that annotation completion relies on. The
+// concept itself is not included.
+func (o *Ontology) Ancestors(id string) []string {
+	seen := make(map[string]bool)
+	var walk func(string)
+	walk = func(cur string) {
+		c := o.concepts[cur]
+		if c == nil {
+			return
+		}
+		for _, p := range c.Parents {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(id)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Descendants returns the transitive children of a concept, excluding
+// itself — the concepts a query for the given term should also retrieve.
+func (o *Ontology) Descendants(id string) []string {
+	seen := make(map[string]bool)
+	var walk func(string)
+	walk = func(cur string) {
+		for _, ch := range o.children[cur] {
+			if !seen[ch] {
+				seen[ch] = true
+				walk(ch)
+			}
+		}
+	}
+	walk(id)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotate maps a sample's metadata values (and attribute names) to concept
+// IDs and completes them with the semantic closure: every matched concept
+// contributes all its ancestors. This is the annotation step of [16].
+func (o *Ontology) Annotate(md *gdm.Metadata) []string {
+	seen := make(map[string]bool)
+	addConcepts := func(term string) {
+		for _, id := range o.Lookup(term) {
+			if !seen[id] {
+				seen[id] = true
+				for _, a := range o.Ancestors(id) {
+					seen[a] = true
+				}
+			}
+		}
+	}
+	for _, p := range md.Pairs() {
+		addConcepts(p[0])
+		addConcepts(p[1])
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expand performs ontological query expansion: the surface terms of every
+// concept matching the query term plus the terms of all its descendants.
+// A keyword search with the expanded term set retrieves samples annotated
+// with any subclass of the query concept (searching "cancer cell line"
+// finds HeLa samples).
+func (o *Ontology) Expand(term string) []string {
+	terms := make(map[string]bool)
+	add := func(id string) {
+		c := o.concepts[id]
+		if c == nil {
+			return
+		}
+		terms[norm(c.Name)] = true
+		for _, s := range c.Synonyms {
+			terms[norm(s)] = true
+		}
+	}
+	for _, id := range o.Lookup(term) {
+		add(id)
+		for _, d := range o.Descendants(id) {
+			add(d)
+		}
+	}
+	if len(terms) == 0 {
+		// Unknown terms expand to themselves so search degrades gracefully
+		// to plain keyword matching.
+		return []string{norm(term)}
+	}
+	out := make([]string, 0, len(terms))
+	for t := range terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConceptsFor returns the concept IDs for a query term together with all
+// their descendants — the concept-level counterpart of Expand.
+func (o *Ontology) ConceptsFor(term string) []string {
+	seen := make(map[string]bool)
+	for _, id := range o.Lookup(term) {
+		seen[id] = true
+		for _, d := range o.Descendants(id) {
+			seen[d] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Biomedical builds the compact UMLS stand-in used throughout the repo:
+// cell lines, tissues, assays, antibodies/marks and diseases with the IS-A
+// structure the Section 4.3 experiments exercise.
+func Biomedical() *Ontology {
+	o := New()
+	// Roots.
+	o.MustAdd("C:ENTITY", "biomedical entity", nil)
+	o.MustAdd("C:CELL", "cell line", nil, "C:ENTITY")
+	o.MustAdd("C:TISSUE", "tissue", nil, "C:ENTITY")
+	o.MustAdd("C:ASSAY", "assay", []string{"experiment type"}, "C:ENTITY")
+	o.MustAdd("C:DISEASE", "disease", nil, "C:ENTITY")
+	o.MustAdd("C:TARGET", "molecular target", nil, "C:ENTITY")
+
+	// Diseases.
+	o.MustAdd("C:CANCER", "cancer", []string{"neoplasm", "tumor", "malignancy"}, "C:DISEASE")
+	o.MustAdd("C:CERVCA", "cervical carcinoma", nil, "C:CANCER")
+	o.MustAdd("C:LEUK", "leukemia", []string{"CML"}, "C:CANCER")
+	o.MustAdd("C:HEPCA", "hepatocellular carcinoma", []string{"liver cancer"}, "C:CANCER")
+	o.MustAdd("C:BRCA", "breast carcinoma", []string{"breast cancer"}, "C:CANCER")
+
+	// Cell lines.
+	o.MustAdd("C:CANCERCELL", "cancer cell line", []string{"tumor cell line"}, "C:CELL")
+	o.MustAdd("C:NORMCELL", "normal cell line", nil, "C:CELL")
+	o.MustAdd("C:HELA", "HeLa-S3", []string{"HeLa", "hela s3"}, "C:CANCERCELL", "C:CERVCA")
+	o.MustAdd("C:K562", "K562", nil, "C:CANCERCELL", "C:LEUK")
+	o.MustAdd("C:HEPG2", "HepG2", nil, "C:CANCERCELL", "C:HEPCA")
+	o.MustAdd("C:MCF7", "MCF-7", []string{"MCF7"}, "C:CANCERCELL", "C:BRCA")
+	o.MustAdd("C:GM12878", "GM12878", nil, "C:NORMCELL")
+	o.MustAdd("C:H1", "H1-hESC", []string{"H1", "embryonic stem cell"}, "C:NORMCELL")
+
+	// Assays.
+	o.MustAdd("C:SEQ", "sequencing assay", []string{"NGS"}, "C:ASSAY")
+	o.MustAdd("C:CHIPSEQ", "ChipSeq", []string{"ChIP-seq", "chromatin immunoprecipitation"}, "C:SEQ")
+	o.MustAdd("C:RNASEQ", "RnaSeq", []string{"RNA-seq", "transcriptome profiling"}, "C:SEQ")
+	o.MustAdd("C:DNASE", "DnaseSeq", []string{"DNase-seq"}, "C:SEQ")
+	o.MustAdd("C:CHIAPET", "ChIA-PET", nil, "C:SEQ")
+	o.MustAdd("C:REPLI", "Repli-seq", nil, "C:SEQ")
+
+	// Targets: transcription factors and histone marks.
+	o.MustAdd("C:TF", "transcription factor", nil, "C:TARGET")
+	o.MustAdd("C:HISTONE", "histone mark", []string{"histone modification"}, "C:TARGET")
+	o.MustAdd("C:CTCF", "CTCF", nil, "C:TF")
+	o.MustAdd("C:POL2", "POLR2A", []string{"Pol2", "RNA polymerase II"}, "C:TF")
+	o.MustAdd("C:MYC", "MYC", []string{"c-Myc"}, "C:TF")
+	o.MustAdd("C:REST", "REST", nil, "C:TF")
+	o.MustAdd("C:EP300", "EP300", []string{"p300"}, "C:TF")
+	o.MustAdd("C:K27AC", "H3K27ac", nil, "C:HISTONE")
+	o.MustAdd("C:K4ME1", "H3K4me1", nil, "C:HISTONE")
+	o.MustAdd("C:K4ME3", "H3K4me3", nil, "C:HISTONE")
+
+	// Tissues.
+	o.MustAdd("C:BLOOD", "blood", nil, "C:TISSUE")
+	o.MustAdd("C:LIVER", "liver", nil, "C:TISSUE")
+	o.MustAdd("C:CERVIX", "cervix", nil, "C:TISSUE")
+	return o
+}

@@ -1,0 +1,167 @@
+package ontology
+
+import (
+	"testing"
+
+	"genogo/internal/gdm"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	o := New()
+	o.MustAdd("R", "root", nil)
+	o.MustAdd("A", "alpha", []string{"first letter"}, "R")
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	if ids := o.Lookup("ALPHA"); len(ids) != 1 || ids[0] != "A" {
+		t.Errorf("Lookup(ALPHA) = %v", ids)
+	}
+	if ids := o.Lookup("First Letter"); len(ids) != 1 || ids[0] != "A" {
+		t.Errorf("synonym lookup = %v", ids)
+	}
+	if ids := o.Lookup("nothing"); len(ids) != 0 {
+		t.Errorf("unknown lookup = %v", ids)
+	}
+	if c := o.Concept("A"); c == nil || c.Name != "alpha" {
+		t.Error("Concept lookup failed")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	o := New()
+	o.MustAdd("R", "root", nil)
+	if err := o.Add("R", "dup", nil); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := o.Add("X", "x", nil, "MISSING"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := o.Add("", "x", nil); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+func TestAncestorsAndDescendants(t *testing.T) {
+	o := Biomedical()
+	anc := o.Ancestors("C:HELA")
+	want := map[string]bool{
+		"C:CANCERCELL": true, "C:CELL": true, "C:CERVCA": true,
+		"C:CANCER": true, "C:DISEASE": true, "C:ENTITY": true,
+	}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors(HELA) = %v", anc)
+	}
+	for _, a := range anc {
+		if !want[a] {
+			t.Errorf("unexpected ancestor %s", a)
+		}
+	}
+	desc := o.Descendants("C:CANCERCELL")
+	if len(desc) != 4 {
+		t.Errorf("Descendants(cancer cell line) = %v", desc)
+	}
+	if len(o.Descendants("C:HELA")) != 0 {
+		t.Error("leaf has descendants")
+	}
+	if len(o.Ancestors("UNKNOWN")) != 0 {
+		t.Error("unknown concept has ancestors")
+	}
+}
+
+func TestAnnotateWithClosure(t *testing.T) {
+	o := Biomedical()
+	md := gdm.MetadataFrom(map[string]string{
+		"cell":     "HeLa-S3",
+		"dataType": "ChipSeq",
+		"note":     "nothing ontological",
+	})
+	got := map[string]bool{}
+	for _, id := range o.Annotate(md) {
+		got[id] = true
+	}
+	// Direct matches.
+	for _, id := range []string{"C:HELA", "C:CHIPSEQ"} {
+		if !got[id] {
+			t.Errorf("missing direct concept %s", id)
+		}
+	}
+	// Closure.
+	for _, id := range []string{"C:CANCER", "C:CANCERCELL", "C:SEQ", "C:ASSAY", "C:ENTITY"} {
+		if !got[id] {
+			t.Errorf("missing closure concept %s", id)
+		}
+	}
+	if got["C:K562"] {
+		t.Error("unrelated concept annotated")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	o := Biomedical()
+	terms := map[string]bool{}
+	for _, tm := range o.Expand("cancer cell line") {
+		terms[tm] = true
+	}
+	for _, want := range []string{"hela-s3", "hela", "k562", "hepg2", "mcf-7", "cancer cell line", "tumor cell line"} {
+		if !terms[want] {
+			t.Errorf("expansion missing %q (have %v)", want, terms)
+		}
+	}
+	if terms["gm12878"] {
+		t.Error("normal cell line leaked into cancer expansion")
+	}
+	// Unknown terms expand to themselves.
+	if got := o.Expand("flux capacitor"); len(got) != 1 || got[0] != "flux capacitor" {
+		t.Errorf("unknown expansion = %v", got)
+	}
+}
+
+func TestExpandViaSynonym(t *testing.T) {
+	o := Biomedical()
+	terms := map[string]bool{}
+	for _, tm := range o.Expand("neoplasm") { // synonym of cancer
+		terms[tm] = true
+	}
+	if !terms["cervical carcinoma"] || !terms["leukemia"] {
+		t.Errorf("synonym expansion missing subclasses: %v", terms)
+	}
+}
+
+func TestConceptsFor(t *testing.T) {
+	o := Biomedical()
+	ids := map[string]bool{}
+	for _, id := range o.ConceptsFor("histone mark") {
+		ids[id] = true
+	}
+	for _, want := range []string{"C:HISTONE", "C:K27AC", "C:K4ME1", "C:K4ME3"} {
+		if !ids[want] {
+			t.Errorf("ConceptsFor missing %s", want)
+		}
+	}
+	if len(o.ConceptsFor("xyzzy")) != 0 {
+		t.Error("unknown term resolved")
+	}
+}
+
+func TestBiomedicalWellFormed(t *testing.T) {
+	o := Biomedical()
+	if o.Len() < 30 {
+		t.Errorf("biomedical ontology suspiciously small: %d", o.Len())
+	}
+	// Every concept except the root reaches C:ENTITY.
+	for id := range o.concepts {
+		if id == "C:ENTITY" {
+			continue
+		}
+		anc := o.Ancestors(id)
+		found := false
+		for _, a := range anc {
+			if a == "C:ENTITY" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("concept %s not rooted at C:ENTITY", id)
+		}
+	}
+}

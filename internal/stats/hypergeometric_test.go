@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHypergeometricPMFExact(t *testing.T) {
+	// Classic urn: N=10, K=4 successes, draw n=3.
+	// P[X=0] = C(4,0)C(6,3)/C(10,3) = 20/120
+	// P[X=1] = C(4,1)C(6,2)/C(10,3) = 60/120
+	// P[X=2] = C(4,2)C(6,1)/C(10,3) = 36/120
+	// P[X=3] = C(4,3)C(6,0)/C(10,3) = 4/120
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 20.0 / 120}, {1, 60.0 / 120}, {2, 36.0 / 120}, {3, 4.0 / 120},
+	}
+	for _, c := range cases {
+		got := HypergeometricPMF(c.k, 4, 3, 10)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	// Out-of-support values.
+	for _, k := range []int{-1, 4, 5} {
+		if HypergeometricPMF(k, 4, 3, 10) != 0 {
+			t.Errorf("PMF(%d) != 0", k)
+		}
+	}
+	if HypergeometricPMF(1, 4, 3, 0) != 0 || HypergeometricPMF(1, 11, 3, 10) != 0 {
+		t.Error("degenerate parameters not zero")
+	}
+}
+
+func TestHypergeometricPMFSumsToOne(t *testing.T) {
+	for _, c := range []struct{ K, n, N int }{
+		{4, 3, 10}, {50, 20, 200}, {500, 100, 2000},
+	} {
+		sum := 0.0
+		for k := 0; k <= c.n; k++ {
+			sum += HypergeometricPMF(k, c.K, c.n, c.N)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("K=%d n=%d N=%d: sum = %v", c.K, c.n, c.N, sum)
+		}
+	}
+}
+
+func TestHypergeometricPUpper(t *testing.T) {
+	// P[X >= 2] with the urn above = (36+4)/120.
+	got := HypergeometricPUpper(2, 4, 3, 10)
+	if math.Abs(got-40.0/120) > 1e-12 {
+		t.Errorf("PUpper(2) = %v", got)
+	}
+	if HypergeometricPUpper(0, 4, 3, 10) != 1 {
+		t.Error("PUpper(0) != 1")
+	}
+	if p := HypergeometricPUpper(4, 4, 3, 10); p != 0 {
+		t.Errorf("impossible tail = %v", p)
+	}
+	// Monotone non-increasing in k.
+	prev := 1.1
+	for k := 0; k <= 20; k++ {
+		p := HypergeometricPUpper(k, 50, 20, 200)
+		if p > prev+1e-12 {
+			t.Fatalf("not monotone at k=%d", k)
+		}
+		prev = p
+	}
+	// Strong enrichment is tiny: all 20 drawn genes annotated when only
+	// 50/2000 are.
+	if p := HypergeometricPUpper(20, 50, 20, 2000); p > 1e-20 {
+		t.Errorf("extreme enrichment p = %g", p)
+	}
+}
+
+func TestLnFactorialStirlingAccuracy(t *testing.T) {
+	// Compare the Stirling branch against the exact table boundary.
+	exact := lnFactTable[170]
+	// Recompute 170! via Stirling (force the branch with n just above).
+	approx := lnFactorial(171) - math.Log(171)
+	if math.Abs(approx-exact) > 1e-8*exact {
+		t.Errorf("Stirling mismatch: %v vs %v", approx, exact)
+	}
+	if !math.IsNaN(lnFactorial(-1)) {
+		t.Error("negative factorial not NaN")
+	}
+}

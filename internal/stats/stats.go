@@ -1,0 +1,184 @@
+// Package stats provides the descriptive statistics the paper's vision
+// bridges to the query language (Section 4.1) and the GREAT-style
+// region-enrichment significance scores its integrated services imitate
+// (Section 4.3, ref [18]).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a five-number-plus description of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Describe computes a Summary. An empty input yields the zero Summary.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sumSq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Quantile returns the q-quantile of a SORTED slice using linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson computes the Pearson correlation of two equal-length vectors.
+// It returns 0 when either vector has zero variance.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("stats: empty vectors")
+	}
+	ma, mb := Mean(a), Mean(b)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// Jaccard computes |A∩B| / |A∪B| from the two set sizes and the
+// intersection size.
+func Jaccard(sizeA, sizeB, intersection int) float64 {
+	union := sizeA + sizeB - intersection
+	if union <= 0 {
+		return 0
+	}
+	return float64(intersection) / float64(union)
+}
+
+// BinomialZ is the GREAT-style enrichment score: given n trials with
+// per-trial success probability p (the fraction of the genome covered by
+// the annotation), the z-score of observing k successes. Large positive
+// values mean the observed overlap count is far above chance.
+func BinomialZ(k, n int, p float64) float64 {
+	if n == 0 || p <= 0 || p >= 1 {
+		return 0
+	}
+	mu := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if sd == 0 {
+		return 0
+	}
+	return (float64(k) - mu) / sd
+}
+
+// BinomialPUpper approximates the upper-tail binomial p-value
+// P[X >= k | n, p] with the normal approximation plus continuity
+// correction — the significance indication the paper's custom-query
+// services report.
+func BinomialPUpper(k, n int, p float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if k <= 0 {
+		return 1
+	}
+	mu := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if sd == 0 {
+		if float64(k) <= mu {
+			return 1
+		}
+		return 0
+	}
+	z := (float64(k) - 0.5 - mu) / sd
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// FoldChange returns b/a guarding against division by zero with a small
+// pseudo-count, the convention of differential-expression analyses.
+func FoldChange(a, b float64) float64 {
+	const pseudo = 1e-9
+	return (b + pseudo) / (a + pseudo)
+}
+
+// PrecisionRecallF1 computes retrieval metrics from true/false
+// positive/negative counts.
+func PrecisionRecallF1(tp, fp, fn int) (precision, recall, f1 float64) {
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	} else {
+		precision = 1
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	} else {
+		recall = 1
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || !approx(s.Std, 2, 1e-9) {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 || !approx(s.Median, 4.5, 1e-9) {
+		t.Errorf("order stats = %+v", s)
+	}
+	if z := Describe(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !approx(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || !approx(r, 1, 1e-9) {
+		t.Errorf("perfect correlation = %v, %v", r, err)
+	}
+	r, _ = Pearson([]float64{1, 2, 3}, []float64{6, 4, 2})
+	if !approx(r, -1, 1e-9) {
+		t.Errorf("anti-correlation = %v", r)
+	}
+	r, _ = Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if r != 0 {
+		t.Errorf("zero-variance correlation = %v", r)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+}
+
+func TestPearsonBoundsQuick(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n < 2 {
+			return true
+		}
+		for _, v := range append(a[:n], b[:n]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r, err := Pearson(a[:n], b[:n])
+		return err == nil && r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(10, 10, 5); !approx(got, 5.0/15.0, 1e-9) {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if Jaccard(0, 0, 0) != 0 {
+		t.Error("empty Jaccard not 0")
+	}
+	if Jaccard(5, 5, 5) != 1 {
+		t.Error("identical sets Jaccard != 1")
+	}
+}
+
+func TestBinomialZ(t *testing.T) {
+	// Observing exactly the expectation gives z=0.
+	if z := BinomialZ(50, 100, 0.5); !approx(z, 0, 1e-9) {
+		t.Errorf("z at mean = %v", z)
+	}
+	// Two sigma above: n=100, p=0.5, sd=5, k=60 -> z=2.
+	if z := BinomialZ(60, 100, 0.5); !approx(z, 2, 1e-9) {
+		t.Errorf("z = %v", z)
+	}
+	if BinomialZ(5, 0, 0.5) != 0 || BinomialZ(5, 10, 0) != 0 || BinomialZ(5, 10, 1) != 0 {
+		t.Error("degenerate z not 0")
+	}
+}
+
+func TestBinomialPUpper(t *testing.T) {
+	// Far above expectation: tiny p-value.
+	if p := BinomialPUpper(90, 100, 0.1); p > 1e-10 {
+		t.Errorf("enriched p = %g", p)
+	}
+	// At or below expectation: large p-value.
+	if p := BinomialPUpper(10, 100, 0.5); p < 0.99 {
+		t.Errorf("depleted p = %g", p)
+	}
+	if BinomialPUpper(0, 100, 0.5) != 1 || BinomialPUpper(5, 0, 0.5) != 1 {
+		t.Error("degenerate p not 1")
+	}
+	// Monotone in k.
+	prev := 1.1
+	for k := 0; k <= 100; k += 10 {
+		p := BinomialPUpper(k, 100, 0.3)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at k=%d: %g > %g", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestFoldChange(t *testing.T) {
+	if fc := FoldChange(2, 6); !approx(fc, 3, 1e-6) {
+		t.Errorf("FoldChange = %v", fc)
+	}
+	if fc := FoldChange(0, 5); math.IsInf(fc, 0) || math.IsNaN(fc) {
+		t.Errorf("zero-denominator FoldChange = %v", fc)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	p, r, f1 := PrecisionRecallF1(8, 2, 2)
+	if !approx(p, 0.8, 1e-9) || !approx(r, 0.8, 1e-9) || !approx(f1, 0.8, 1e-9) {
+		t.Errorf("p=%v r=%v f1=%v", p, r, f1)
+	}
+	p, r, f1 = PrecisionRecallF1(0, 0, 0)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("degenerate: p=%v r=%v f1=%v", p, r, f1)
+	}
+	p, r, f1 = PrecisionRecallF1(0, 5, 5)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("all wrong: p=%v r=%v f1=%v", p, r, f1)
+	}
+}
