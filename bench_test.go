@@ -6,10 +6,12 @@
 package genogo_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/federation"
@@ -19,6 +21,7 @@ import (
 	"genogo/internal/gmql"
 	"genogo/internal/meta"
 	"genogo/internal/ontology"
+	"genogo/internal/resilience"
 	"genogo/internal/synth"
 )
 
@@ -372,7 +375,7 @@ func BenchmarkE9Federation(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			fed := &federation.Federator{Clients: []*federation.Client{
 				federation.NewClient(ts1.URL), federation.NewClient(ts2.URL)}}
-			if _, err := fed.Query(headlineScript, "RESULT", 8); err != nil {
+			if _, _, err := fed.Query(context.Background(), headlineScript, "RESULT", 8); err != nil {
 				b.Fatal(err)
 			}
 			bytes = fed.BytesMoved()
@@ -384,7 +387,7 @@ func BenchmarkE9Federation(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			fed := &federation.Federator{Clients: []*federation.Client{
 				federation.NewClient(ts1.URL), federation.NewClient(ts2.URL)}}
-			if _, err := fed.QueryNaive(headlineScript, "RESULT",
+			if _, err := fed.QueryNaive(context.Background(), headlineScript, "RESULT",
 				[]string{"ANNOTATIONS", "ENCODE"},
 				engine.Config{Mode: engine.ModeSerial, MetaFirst: true}); err != nil {
 				b.Fatal(err)
@@ -393,6 +396,67 @@ func BenchmarkE9Federation(b *testing.B) {
 		}
 		b.ReportMetric(float64(bytes)/1e6, "MB_moved")
 	})
+}
+
+// BenchmarkE9ChaosAblation re-runs the federated query with a seeded fault
+// injector between client and nodes at 0%, 10% and 30% per-request fault
+// rates (two thirds 503s, one third dropped connections), retries enabled,
+// under the partial-results policy. Reported per rate: the fraction of
+// queries that completed with no partial report (full_success), the fraction
+// of (query, node) legs that contributed results (node_success), and the
+// traffic — failed legs still cost bytes for the attempts made.
+func BenchmarkE9ChaosAblation(b *testing.B) {
+	g1 := synth.New(7100)
+	g2 := synth.New(7101)
+	mk := func(g *synth.Generator) *federation.Server {
+		enc := g.Encode(synth.EncodeOptions{Samples: 30, MeanPeaks: 300})
+		anns := g.Annotations(g.Genes(250))
+		return federation.NewServer("node", engine.Config{Mode: engine.ModeSerial, MetaFirst: true}, enc, anns)
+	}
+	ts1 := httptest.NewServer(mk(g1).Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(mk(g2).Handler())
+	defer ts2.Close()
+	urls := []string{ts1.URL, ts2.URL}
+
+	for _, rate := range []float64{0, 0.10, 0.30} {
+		b.Run(fmt.Sprintf("fault%.0f%%", rate*100), func(b *testing.B) {
+			var fullOK, nodeOK, bytes int64
+			for i := 0; i < b.N; i++ {
+				var clients []*federation.Client
+				for n, u := range urls {
+					clients = append(clients, federation.NewClient(u,
+						federation.WithTransport(&resilience.ChaosTransport{
+							Seed:      int64(1000*i + n),
+							ErrorRate: rate * 2 / 3,
+							DropRate:  rate / 3,
+						}),
+						federation.WithRetrier(&resilience.Retrier{
+							MaxAttempts: 4,
+							BaseDelay:   time.Millisecond,
+							MaxDelay:    5 * time.Millisecond,
+						})))
+				}
+				fed := &federation.Federator{Clients: clients,
+					Policy: federation.Policy{AllowPartial: true}}
+				_, report, err := fed.Query(context.Background(), headlineScript, "RESULT", 8)
+				bytes += fed.BytesMoved()
+				failed := 0
+				if report != nil {
+					failed = len(report.Failed)
+				}
+				if err == nil && report == nil {
+					fullOK++
+				}
+				if err == nil {
+					nodeOK += int64(len(urls) - failed)
+				}
+			}
+			b.ReportMetric(float64(fullOK)/float64(b.N), "full_success")
+			b.ReportMetric(float64(nodeOK)/float64(int64(len(urls))*int64(b.N)), "node_success")
+			b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "MB_moved")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -414,7 +478,7 @@ func BenchmarkE10GenomeNet(b *testing.B) {
 		var indexed int
 		for i := 0; i < b.N; i++ {
 			svc := genomenet.NewSearchService(ontology.Biomedical())
-			if err := svc.Crawl(urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
+			if err := svc.Crawl(context.Background(), urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
 				b.Fatal(err)
 			}
 			indexed = svc.NumIndexed()
@@ -422,7 +486,7 @@ func BenchmarkE10GenomeNet(b *testing.B) {
 		b.ReportMetric(float64(indexed), "datasets_indexed")
 	})
 	svc := genomenet.NewSearchService(ontology.Biomedical())
-	if err := svc.Crawl(urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("keyword-search", func(b *testing.B) {

@@ -6,9 +6,16 @@
 //
 //	genomenet host  -data DIR [-addr :8950]
 //	genomenet crawl -hosts URL1,URL2 [-bodies N] [-query TERM] [-ontological]
+//	                [-timeout 2m] [-retries 3] [-skip-failed]
+//
+// Crawling the open internet means crawling hosts that hang, die mid-crawl,
+// or serve garbage: -timeout bounds the whole crawl, -retries absorbs
+// transient per-request faults, and -skip-failed degrades to indexing the
+// reachable hosts while reporting the rest instead of aborting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,10 +23,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"genogo/internal/formats"
 	"genogo/internal/genomenet"
 	"genogo/internal/ontology"
+	"genogo/internal/resilience"
 )
 
 func main() {
@@ -92,18 +101,34 @@ func runCrawl(args []string, out io.Writer) error {
 	bodies := fs.Int("bodies", 0, "dataset bodies to cache per host")
 	query := fs.String("query", "", "search query to answer after crawling")
 	ontological := fs.Bool("ontological", false, "expand the query through the biomedical ontology")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall crawl deadline (0 disables)")
+	retries := fs.Int("retries", 3, "attempts per request against transient faults (1 disables retrying)")
+	skipFailed := fs.Bool("skip-failed", false, "index reachable hosts and report failed ones instead of aborting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *hosts == "" {
 		return fmt.Errorf("-hosts is required")
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := genomenet.CrawlOptions{FetchBodies: *bodies, SkipFailedHosts: *skipFailed}
+	if *retries > 1 {
+		opt.Retrier = &resilience.Retrier{MaxAttempts: *retries}
+	}
 	svc := genomenet.NewSearchService(ontology.Biomedical())
 	urls := strings.Split(*hosts, ",")
-	if err := svc.Crawl(urls, genomenet.CrawlOptions{FetchBodies: *bodies}, nil); err != nil {
+	if err := svc.Crawl(ctx, urls, opt, nil); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "crawled %d hosts, indexed %d datasets\n", len(urls), svc.NumIndexed())
+	for _, fh := range svc.LastCrawl.FailedHosts {
+		fmt.Fprintf(out, "  failed host: %s\n", strings.ReplaceAll(fh, "\t", ": "))
+	}
 	if *query == "" {
 		return nil
 	}

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	gmqld -data DIR [-addr :8844] [-name node1] [-mode stream]
+//	      [-read-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
+//
+// The timeout flags bound how long one HTTP exchange may hold a connection,
+// so a stalled or malicious peer cannot pin server resources forever. The
+// write timeout is the effective ceiling on query execution time per request.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/federation"
@@ -29,23 +35,26 @@ func main() {
 }
 
 func run(args []string) error {
-	handler, addr, err := setup(args, os.Stdout)
+	srv, err := setup(args, os.Stdout)
 	if err != nil {
 		return err
 	}
-	return http.ListenAndServe(addr, handler)
+	return srv.ListenAndServe()
 }
 
-// setup parses flags and builds the node handler without binding a socket,
-// so tests can drive it through httptest.
-func setup(args []string, out io.Writer) (http.Handler, string, error) {
+// setup parses flags and builds the node's http.Server without binding a
+// socket, so tests can drive srv.Handler through httptest.
+func setup(args []string, out io.Writer) (*http.Server, error) {
 	fs := flag.NewFlagSet("gmqld", flag.ContinueOnError)
 	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
 	addr := fs.String("addr", ":8844", "listen address")
 	name := fs.String("name", "node", "node name")
 	mode := fs.String("mode", "stream", "execution backend: serial, batch or stream")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read one request (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "max time to execute and write one response (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 disables)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	cfg := engine.DefaultConfig()
 	switch *mode {
@@ -56,13 +65,13 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 	case "stream":
 		cfg.Mode = engine.ModeStream
 	default:
-		return nil, "", fmt.Errorf("unknown mode %q", *mode)
+		return nil, fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	srv := federation.NewServer(*name, cfg)
 	entries, err := os.ReadDir(*dataDir)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	loaded := 0
 	for _, e := range entries {
@@ -75,15 +84,21 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		}
 		ds, err := formats.ReadDataset(sub)
 		if err != nil {
-			return nil, "", fmt.Errorf("loading %s: %w", sub, err)
+			return nil, fmt.Errorf("loading %s: %w", sub, err)
 		}
 		srv.AddDataset(ds)
 		fmt.Fprintf(out, "serving %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
 		loaded++
 	}
 	if loaded == 0 {
-		return nil, "", fmt.Errorf("no datasets found under %s", *dataDir)
+		return nil, fmt.Errorf("no datasets found under %s", *dataDir)
 	}
 	fmt.Fprintf(out, "node %s listening on %s (%s backend)\n", *name, *addr, cfg.Mode)
-	return srv.Handler(), *addr, nil
+	return &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}, nil
 }

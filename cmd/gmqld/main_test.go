@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"genogo/internal/federation"
 	"genogo/internal/formats"
@@ -30,31 +32,35 @@ func writeRepo(t *testing.T) string {
 func TestSetupServesFederationProtocol(t *testing.T) {
 	dir := writeRepo(t)
 	var out bytes.Buffer
-	handler, addr, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial"}, &out)
+	srv, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial",
+		"-read-timeout", "10s", "-write-timeout", "20s"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":9999" {
-		t.Errorf("addr = %q", addr)
+	if srv.Addr != ":9999" {
+		t.Errorf("addr = %q", srv.Addr)
+	}
+	if srv.ReadTimeout != 10*time.Second || srv.WriteTimeout != 20*time.Second {
+		t.Errorf("timeouts = %v/%v", srv.ReadTimeout, srv.WriteTimeout)
 	}
 	if !strings.Contains(out.String(), "serving ENCODE") {
 		t.Errorf("output = %q", out.String())
 	}
-	ts := httptest.NewServer(handler)
+	ts := httptest.NewServer(srv.Handler)
 	defer ts.Close()
 	c := federation.NewClient(ts.URL)
-	infos, err := c.ListDatasets()
+	infos, err := c.ListDatasets(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(infos) != 2 {
 		t.Fatalf("datasets = %d", len(infos))
 	}
-	qr, err := c.Execute(`X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X;`, "X")
+	qr, err := c.Execute(context.Background(), `X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X;`, "X")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := c.FetchAll(qr.ResultID, 2)
+	ds, err := c.FetchAll(context.Background(), qr.ResultID, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,13 +71,13 @@ func TestSetupServesFederationProtocol(t *testing.T) {
 
 func TestSetupErrors(t *testing.T) {
 	var out bytes.Buffer
-	if _, _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
+	if _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
 		t.Error("empty data dir accepted")
 	}
-	if _, _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
+	if _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if _, _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+	if _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
 		t.Error("missing dir accepted")
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -38,7 +39,7 @@ func main() {
 
 	// 1. Discover remote datasets.
 	c := federation.NewClient(urls[0])
-	infos, err := c.ListDatasets()
+	infos, err := c.ListDatasets(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	// 2. Compile with result-size estimate.
-	comp, err := c.Compile(script, "RESULT")
+	comp, err := c.Compile(context.Background(), script, "RESULT")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func main() {
 	fed := &federation.Federator{Clients: []*federation.Client{
 		federation.NewClient(urls[0]), federation.NewClient(urls[1]),
 	}}
-	result, err := fed.Query(script, "RESULT", 8)
+	result, _, err := fed.Query(context.Background(), script, "RESULT", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func main() {
 	naive := &federation.Federator{Clients: []*federation.Client{
 		federation.NewClient(urls[0]), federation.NewClient(urls[1]),
 	}}
-	naiveResult, err := naive.QueryNaive(script, "RESULT",
+	naiveResult, err := naive.QueryNaive(context.Background(), script, "RESULT",
 		[]string{"ANNOTATIONS", "ENCODE"}, engine.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)

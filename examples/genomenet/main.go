@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -39,7 +40,7 @@ func main() {
 
 	// The third-party search service crawls everything public.
 	svc := genomenet.NewSearchService(ontology.Biomedical())
-	if err := svc.Crawl(urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), urls, genomenet.CrawlOptions{FetchBodies: 1}, nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("=== Crawl ===\nvisited %d hosts, indexed %d public datasets (private links unseen)\n",

@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"genogo/internal/gdm"
@@ -87,9 +88,22 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// workerPanic carries a panic out of a worker goroutine, preserving the
+// worker's stack for the re-panic on the caller's goroutine.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
 // forEach runs fn(i) for i in [0,n) according to the configured backend:
 // sequentially in serial mode, fanned out over the worker pool otherwise.
 // It is the single parallel primitive every operator kernel uses.
+//
+// A panic inside a worker goroutine would crash the whole process (a
+// goroutine's panic cannot be recovered by anyone else), so workers trap
+// panics and forEach re-raises the first one on the calling goroutine —
+// where Session.Eval converts it into a query error: one bad sample fails
+// the query, not the server.
 func (c Config) forEach(n int, fn func(i int)) {
 	w := c.workers()
 	if w <= 1 || n <= 1 {
@@ -102,13 +116,24 @@ func (c Config) forEach(n int, fn func(i int)) {
 		w = n
 	}
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var trapped *workerPanic
 	next := make(chan int)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								trapped = &workerPanic{val: r, stack: debug.Stack()}
+							})
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
@@ -117,6 +142,9 @@ func (c Config) forEach(n int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if trapped != nil {
+		panic(trapped)
+	}
 }
 
 // chromEntries converts the regions of one chromosome range [lo,hi) of a

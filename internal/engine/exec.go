@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 
@@ -55,7 +56,27 @@ func NewSession(cfg Config, cat Catalog) *Session {
 }
 
 // Eval executes one plan, reusing any cached subtree results.
-func (s *Session) Eval(plan Node) (*gdm.Dataset, error) { return s.e.eval(plan) }
+//
+// Panics raised by operator kernels — including worker panics re-raised by
+// forEach — are converted into returned errors here, so a malformed sample
+// fails its query instead of taking down the process hosting the session
+// (the gmqld server runs many queries in one process).
+func (s *Session) Eval(plan Node) (ds *gdm.Dataset, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ds, err = nil, recoveredError(r)
+		}
+	}()
+	return s.e.eval(plan)
+}
+
+// recoveredError renders a recovered panic value as a query error.
+func recoveredError(r any) error {
+	if wp, ok := r.(*workerPanic); ok {
+		return fmt.Errorf("engine: panic in parallel worker: %v\n%s", wp.val, wp.stack)
+	}
+	return fmt.Errorf("engine: panic during evaluation: %v\n%s", r, debug.Stack())
+}
 
 type evaluator struct {
 	cfg Config
@@ -188,6 +209,13 @@ func (e *evaluator) evalPair(left, right Node) (*gdm.Dataset, *gdm.Dataset, erro
 	}
 	ch := make(chan res, 1)
 	go func() {
+		// The right operand runs on its own goroutine; a panic here would be
+		// unrecoverable by the caller, so convert it to an error in-channel.
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- res{nil, recoveredError(r)}
+			}
+		}()
 		ds, err := e.eval(right)
 		ch <- res{ds, err}
 	}()

@@ -152,7 +152,10 @@ type JoinArgs struct {
 // region pair that satisfies the genometric predicate. The output schema is
 // the GDM merge of the operand schemas (anchor attributes first).
 func Join(cfg Config, left, right *gdm.Dataset, args JoinArgs) (*gdm.Dataset, error) {
-	merged := mustMergeSchemas(left.Schema, right.Schema, "right")
+	merged, err := mergeSchemas(left.Schema, right.Schema, "right")
+	if err != nil {
+		return nil, err
+	}
 	pairs := pairings(left, right, args.JoinBy)
 	out := gdm.NewDataset(left.Name, merged.Schema)
 	outSamples := make([]*gdm.Sample, len(pairs))

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+)
+
+// TestForEachWorkerPanicRepanicsOnCaller: a panic inside a worker goroutine
+// must not crash the process; forEach re-raises it on the calling goroutine
+// with the worker's stack attached.
+func TestForEachWorkerPanicRepanicsOnCaller(t *testing.T) {
+	cfg := Config{Mode: ModeBatch, Workers: 4}
+	var done atomic.Int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		wp, ok := r.(*workerPanic)
+		if !ok {
+			t.Fatalf("re-raised value is %T, want *workerPanic", r)
+		}
+		if wp.val != "boom" {
+			t.Errorf("panic value = %v", wp.val)
+		}
+		if len(wp.stack) == 0 {
+			t.Error("worker stack not captured")
+		}
+		if done.Load() == 0 {
+			t.Error("no iterations ran before the panic surfaced")
+		}
+	}()
+	cfg.forEach(64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+		done.Add(1)
+	})
+	t.Fatal("forEach returned normally despite a worker panic")
+}
+
+// panicCatalog explodes on any dataset except the ones it was given.
+type panicCatalog struct{ ok MapCatalog }
+
+func (c panicCatalog) Dataset(name string) (*gdm.Dataset, error) {
+	if ds, err := c.ok.Dataset(name); err == nil {
+		return ds, nil
+	}
+	panic("catalog exploded on " + name)
+}
+
+// TestEvalConvertsPanicToError: Session.Eval turns a panic anywhere in the
+// evaluation into a returned error — the query fails, the process survives.
+func TestEvalConvertsPanicToError(t *testing.T) {
+	s := NewSession(Config{Mode: ModeBatch, Workers: 3}, panicCatalog{})
+	ds, err := s.Eval(&Scan{Dataset: "x"})
+	if err == nil {
+		t.Fatal("panic did not surface as an error")
+	}
+	if ds != nil {
+		t.Errorf("got a dataset alongside the error: %v", ds)
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Errorf("error does not identify the panic: %v", err)
+	}
+}
+
+// TestStreamRightOperandPanicBecomesError: the stream backend evaluates a
+// binary operator's right input on its own goroutine; a panic there must
+// travel back through the result channel as an error, not kill the process.
+func TestStreamRightOperandPanicBecomesError(t *testing.T) {
+	left := mkDataset(t, "L", mkSample("s1", nil, regSpec{"chr1", 10, 20, gdm.StrandNone, 1, "a"}))
+	s := NewSession(Config{Mode: ModeStream, Workers: 3},
+		panicCatalog{ok: MapCatalog{"L": left}})
+	ds, err := s.Eval(&UnionOp{Left: &Scan{Dataset: "L"}, Right: &Scan{Dataset: "missing"}})
+	if err == nil {
+		t.Fatal("right-operand panic did not surface as an error")
+	}
+	if ds != nil {
+		t.Errorf("got a dataset alongside the error: %v", ds)
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Errorf("error does not identify the panic: %v", err)
+	}
+}
+
+// TestCorruptSampleFailsQueryNotProcess: a region whose Values slice is
+// shorter than the schema (one "bad sample") trips an index panic inside an
+// operator kernel running on the worker pool. The query must come back as an
+// error through the public Run entry point on every parallel backend.
+func TestCorruptSampleFailsQueryNotProcess(t *testing.T) {
+	ds := gdm.NewDataset("D", peakSchema())
+	for i := 0; i < 6; i++ {
+		ds.MustAdd(mkSample("ok"+string(rune('0'+i)), nil,
+			regSpec{"chr1", int64(10 * i), int64(10*i + 5), gdm.StrandNone, float64(i), "r"}))
+	}
+	bad := gdm.NewSample("bad")
+	bad.Regions = append(bad.Regions, gdm.Region{Chrom: "chr1", Start: 1, Stop: 2}) // no Values
+	// Dataset.Add validates value arity, so corrupt data can only arrive
+	// through code that bypasses it — which is exactly what this simulates.
+	ds.Samples = append(ds.Samples, bad)
+
+	plan := &ExtendOp{
+		Input: &Scan{Dataset: "D"},
+		Aggs:  []expr.Aggregate{{Output: "maxScore", Attr: "score", Func: expr.AggMax}},
+	}
+	for _, cfg := range allConfigs() {
+		out, err := Run(cfg, plan, MapCatalog{"D": ds})
+		if err == nil {
+			t.Fatalf("%s: corrupt sample produced no error (out=%v)", cfg.Mode, out)
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Errorf("%s: error does not identify the panic: %v", cfg.Mode, err)
+		}
+	}
+}
+
+// TestJoinSchemaMergeFailureIsError: the schema-merge invariant check must
+// return an error rather than panic (its former behaviour).
+func TestJoinSchemaMergeFailureIsError(t *testing.T) {
+	if _, err := mergeSchemas(peakSchema(), peakSchema(), "right"); err != nil {
+		// Name collisions are resolved by tagging, so a healthy merge passes.
+		t.Fatalf("healthy merge failed: %v", err)
+	}
+}

@@ -140,12 +140,14 @@ func mergeSampleMeta(l, r *gdm.Sample) *gdm.Metadata {
 	return md
 }
 
-// ensureSchema panics on impossible schema merges; merges are validated by
-// the compiler before execution, so a failure here is an engine bug.
-func mustMergeSchemas(left, right *gdm.Schema, tag string) gdm.MergedSchema {
+// mergeSchemas validates a binary operator's schema merge. Merges are
+// checked by the compiler before execution, so a failure here is an engine
+// bug — but it surfaces as a query error, failing the query instead of the
+// process.
+func mergeSchemas(left, right *gdm.Schema, tag string) (gdm.MergedSchema, error) {
 	m, err := gdm.MergeSchemas(left, right, tag)
 	if err != nil {
-		panic(fmt.Sprintf("engine: schema merge invariant violated: %v", err))
+		return gdm.MergedSchema{}, fmt.Errorf("engine: schema merge invariant violated: %w", err)
 	}
-	return m
+	return m, nil
 }

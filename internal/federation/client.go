@@ -2,96 +2,219 @@ package federation
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
+	"genogo/internal/resilience"
+)
+
+// Client-side resilience defaults.
+const (
+	// DefaultRequestTimeout bounds each HTTP request of a fresh client.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultMaxBodyBytes caps each response body, bounding the memory a
+	// misbehaving or malicious node can make a requester allocate.
+	DefaultMaxBodyBytes = 256 << 20
+	// releaseTimeout bounds the best-effort Release of a staged result on
+	// failure paths whose own context has already expired.
+	releaseTimeout = 5 * time.Second
 )
 
 // Client talks to one federation node. BytesReceived accumulates payload
 // traffic so experiments can compare the federated ("ship the query")
 // architecture with the naive ("ship the data") one.
+//
+// Retrier and Breaker are optional: when set, every request is retried per
+// the retrier's policy and gated by the breaker (per-endpoint circuit
+// breaking). A Client must not be shared across goroutines while queries
+// are in flight; the Federator gives each member its own.
 type Client struct {
-	BaseURL       string
-	HTTP          *http.Client
+	BaseURL string
+	HTTP    *http.Client
+	// Retrier retries transient request failures (nil = no retries).
+	Retrier *resilience.Retrier
+	// Breaker fails fast against an endpoint that keeps failing
+	// (nil = no circuit breaking).
+	Breaker *resilience.Breaker
+	// MaxBodyBytes caps response bodies; <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes  int64
 	BytesReceived int64
 	BytesSent     int64
 }
 
-// NewClient builds a client for the node at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+// Option configures a Client built by NewClient.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.HTTP = h } }
+
+// WithTransport substitutes the HTTP transport (e.g. a ChaosTransport).
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Client) { c.HTTP.Transport = rt }
 }
 
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+// WithTimeout sets the per-request timeout.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.HTTP.Timeout = d } }
+
+// WithRetrier enables retries.
+func WithRetrier(r *resilience.Retrier) Option { return func(c *Client) { c.Retrier = r } }
+
+// WithBreaker enables circuit breaking.
+func WithBreaker(b *resilience.Breaker) Option { return func(c *Client) { c.Breaker = b } }
+
+// WithMaxBodyBytes caps response bodies.
+func WithMaxBodyBytes(n int64) Option { return func(c *Client) { c.MaxBodyBytes = n } }
+
+// NewClient builds a client for the node at baseURL. Each client owns a
+// dedicated http.Client with a sane timeout — never http.DefaultClient,
+// whose lack of a timeout lets one dead node hang a requester forever.
+func NewClient(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: DefaultRequestTimeout},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// readAll drains r under the configured body cap.
+func (c *Client) readAll(r io.Reader) ([]byte, error) {
+	limit := c.maxBody()
+	b, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > limit {
+		return nil, fmt.Errorf("response exceeds %d-byte cap", limit)
+	}
+	return b, nil
+}
+
+// truncateBody shortens an error payload for inclusion in error text.
+func truncateBody(b []byte) string {
+	const max = 256
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// do performs one HTTP exchange under the client's resilience policy:
+// breaker-gated, retried per the retrier, body capped. It returns the
+// response body and headers of the (first) attempt that answered with
+// wantStatus; any other status is a *resilience.StatusError.
+func (c *Client) do(ctx context.Context, method, path string, payload []byte, wantStatus int) ([]byte, http.Header, error) {
+	var body []byte
+	var hdr http.Header
+	op := func(ctx context.Context) error {
+		body, hdr = nil, nil
+		if err := c.Breaker.Allow(); err != nil {
+			return err
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+			c.BytesSent += int64(len(payload))
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			c.Breaker.Report(err)
+			return err
+		}
+		defer resp.Body.Close()
+		b, err := c.readAll(resp.Body)
+		if err != nil {
+			c.Breaker.Report(err)
+			return err
+		}
+		c.BytesReceived += int64(len(b))
+		if resp.StatusCode != wantStatus {
+			serr := &resilience.StatusError{
+				Code: resp.StatusCode, Status: resp.Status, Body: truncateBody(b),
+			}
+			c.Breaker.Report(serr)
+			return serr
+		}
+		c.Breaker.Report(nil)
+		body, hdr = b, resp.Header
+		return nil
+	}
+	if err := c.Retrier.Do(ctx, op); err != nil {
+		return nil, nil, err
+	}
+	return body, hdr, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	body, _, err := c.do(ctx, http.MethodGet, path, nil, http.StatusOK)
 	if err != nil {
 		return fmt.Errorf("federation: GET %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return fmt.Errorf("federation: GET %s: %w", path, err)
-	}
-	c.BytesReceived += int64(len(body))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("federation: GET %s: %s: %s", path, resp.Status, body)
 	}
 	return json.Unmarshal(body, out)
 }
 
-func (c *Client) postJSON(path string, in, out any) error {
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("federation: POST %s: %w", path, err)
 	}
-	c.BytesSent += int64(len(payload))
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(payload))
+	body, _, err := c.do(ctx, http.MethodPost, path, payload, http.StatusOK)
 	if err != nil {
 		return fmt.Errorf("federation: POST %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return fmt.Errorf("federation: POST %s: %w", path, err)
-	}
-	c.BytesReceived += int64(len(body))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("federation: POST %s: %s: %s", path, resp.Status, body)
 	}
 	return json.Unmarshal(body, out)
 }
 
 // ListDatasets fetches the node's dataset catalog.
-func (c *Client) ListDatasets() ([]DatasetInfo, error) {
+func (c *Client) ListDatasets(ctx context.Context) ([]DatasetInfo, error) {
 	var out []DatasetInfo
-	if err := c.getJSON("/datasets", &out); err != nil {
+	if err := c.getJSON(ctx, "/datasets", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Compile submits a script for compilation and size estimation.
-func (c *Client) Compile(script, varName string) (CompileResponse, error) {
+func (c *Client) Compile(ctx context.Context, script, varName string) (CompileResponse, error) {
 	var out CompileResponse
-	err := c.postJSON("/compile", CompileRequest{Script: script, Var: varName}, &out)
+	err := c.postJSON(ctx, "/compile", CompileRequest{Script: script, Var: varName}, &out)
 	return out, err
 }
 
 // Execute runs a query remotely; the result stays staged at the node.
-func (c *Client) Execute(script, varName string) (QueryResponse, error) {
-	return c.ExecuteWithUserData(script, varName, nil)
+func (c *Client) Execute(ctx context.Context, script, varName string) (QueryResponse, error) {
+	return c.ExecuteWithUserData(ctx, script, varName, nil)
 }
 
 // ExecuteWithUserData runs a query remotely, shipping a private user dataset
 // alongside it. The dataset participates in this query only; the node never
 // lists or stores it (Section 4.3's privacy-protected user input samples).
-func (c *Client) ExecuteWithUserData(script, varName string, user *gdm.Dataset) (QueryResponse, error) {
+func (c *Client) ExecuteWithUserData(ctx context.Context, script, varName string, user *gdm.Dataset) (QueryResponse, error) {
 	req := QueryRequest{Script: script, Var: varName}
 	if user != nil {
 		var buf bytes.Buffer
@@ -101,7 +224,7 @@ func (c *Client) ExecuteWithUserData(script, varName string, user *gdm.Dataset) 
 		req.UserDataset = buf.String()
 	}
 	var out QueryResponse
-	if err := c.postJSON("/query", req, &out); err != nil {
+	if err := c.postJSON(ctx, "/query", req, &out); err != nil {
 		return out, err
 	}
 	if !out.OK {
@@ -112,22 +235,13 @@ func (c *Client) ExecuteWithUserData(script, varName string, user *gdm.Dataset) 
 
 // FetchChunk retrieves samples [start, start+count) of a staged result,
 // returning the chunk and the staged total.
-func (c *Client) FetchChunk(resultID string, start, count int) (*gdm.Dataset, int, error) {
+func (c *Client) FetchChunk(ctx context.Context, resultID string, start, count int) (*gdm.Dataset, int, error) {
 	path := fmt.Sprintf("/results/%s?start=%d&count=%d", resultID, start, count)
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+	body, hdr, err := c.do(ctx, http.MethodGet, path, nil, http.StatusOK)
 	if err != nil {
 		return nil, 0, fmt.Errorf("federation: fetch %s: %w", resultID, err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, 0, fmt.Errorf("federation: fetch %s: %w", resultID, err)
-	}
-	c.BytesReceived += int64(len(body))
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("federation: fetch %s: %s: %s", resultID, resp.Status, body)
-	}
-	total, _ := strconv.Atoi(resp.Header.Get("X-Total-Samples"))
+	total, _ := strconv.Atoi(hdr.Get("X-Total-Samples"))
 	ds, err := formats.DecodeDataset(bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
@@ -137,14 +251,14 @@ func (c *Client) FetchChunk(resultID string, start, count int) (*gdm.Dataset, in
 
 // FetchAll retrieves a whole staged result in chunks of chunkSize samples —
 // the "deferred result retrieval through limited staging" of Section 4.3.
-func (c *Client) FetchAll(resultID string, chunkSize int) (*gdm.Dataset, error) {
+func (c *Client) FetchAll(ctx context.Context, resultID string, chunkSize int) (*gdm.Dataset, error) {
 	if chunkSize <= 0 {
 		chunkSize = 8
 	}
 	var out *gdm.Dataset
 	start := 0
 	for {
-		chunk, total, err := c.FetchChunk(resultID, start, chunkSize)
+		chunk, total, err := c.FetchChunk(ctx, resultID, start, chunkSize)
 		if err != nil {
 			return nil, err
 		}
@@ -161,18 +275,10 @@ func (c *Client) FetchAll(resultID string, chunkSize int) (*gdm.Dataset, error) 
 }
 
 // Release frees a staged result at the node.
-func (c *Client) Release(resultID string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/results/"+resultID, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.HTTP.Do(req)
+func (c *Client) Release(ctx context.Context, resultID string) error {
+	_, _, err := c.do(ctx, http.MethodDelete, "/results/"+resultID, nil, http.StatusNoContent)
 	if err != nil {
 		return fmt.Errorf("federation: release %s: %w", resultID, err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("federation: release %s: %s", resultID, resp.Status)
 	}
 	return nil
 }
@@ -180,29 +286,86 @@ func (c *Client) Release(resultID string) error {
 // DownloadDataset pulls a whole remote dataset — the transfer the federated
 // architecture exists to avoid; used for the naive baseline and by the
 // genome-net crawler.
-func (c *Client) DownloadDataset(name string) (*gdm.Dataset, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/datasets/" + name + "/stream")
+func (c *Client) DownloadDataset(ctx context.Context, name string) (*gdm.Dataset, error) {
+	body, _, err := c.do(ctx, http.MethodGet, "/datasets/"+name+"/stream", nil, http.StatusOK)
 	if err != nil {
 		return nil, fmt.Errorf("federation: download %s: %w", name, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("federation: download %s: %w", name, err)
-	}
-	c.BytesReceived += int64(len(body))
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("federation: download %s: %s", name, resp.Status)
 	}
 	return formats.DecodeDataset(bytes.NewReader(body))
+}
+
+// NodeFailure records one member's failure during a federated query.
+type NodeFailure struct {
+	Node  string // the member's base URL
+	Stage string // "execute" or "fetch"
+	Err   error
+}
+
+// String renders the failure for reports and logs.
+func (nf NodeFailure) String() string {
+	return fmt.Sprintf("%s (%s): %v", nf.Node, nf.Stage, nf.Err)
+}
+
+// PartialFailure is the structured degraded-mode report: exactly the
+// members whose results are missing from a federated answer, and why.
+type PartialFailure struct {
+	Failed []NodeFailure
+}
+
+// Error implements error, so a PartialFailure can travel as the query
+// error when the failure is fatal (strict policy or missed quorum).
+func (p *PartialFailure) Error() string {
+	if p == nil || len(p.Failed) == 0 {
+		return "federation: no node failures"
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "federation: %d node(s) failed:", len(p.Failed))
+	for _, nf := range p.Failed {
+		fmt.Fprintf(&b, " [%s]", nf.String())
+	}
+	return b.String()
+}
+
+// Nodes lists the failed members' base URLs, in client order.
+func (p *PartialFailure) Nodes() []string {
+	if p == nil {
+		return nil
+	}
+	out := make([]string, len(p.Failed))
+	for i, nf := range p.Failed {
+		out[i] = nf.Node
+	}
+	return out
+}
+
+// Policy configures degraded-mode federation.
+type Policy struct {
+	// AllowPartial returns merged results from the reachable members when
+	// some fail, instead of aborting the whole query.
+	AllowPartial bool
+	// Quorum is the minimum number of members that must answer for a
+	// partial result to stand; <= 0 means 1.
+	Quorum int
+	// Deadline bounds the whole query (all members, all chunks); 0 means
+	// the caller's context alone governs.
+	Deadline time.Duration
+}
+
+func (p Policy) quorum() int {
+	if p.Quorum > 0 {
+		return p.Quorum
+	}
+	return 1
 }
 
 // Federator coordinates a query across several nodes: it ships the script
 // to every node, executes locally there, pulls only results, and merges
 // them into one dataset (sample union). This is the query-shipping
-// architecture of Section 4.4.
+// architecture of Section 4.4. Members are queried concurrently; the
+// Policy decides whether member failures abort the query or degrade it.
 type Federator struct {
 	Clients []*Client
+	Policy  Policy
 }
 
 // BytesMoved totals payload traffic across all member clients.
@@ -214,43 +377,119 @@ func (f *Federator) BytesMoved() int64 {
 	return total
 }
 
-// Query runs the script on every node and merges the results.
-func (f *Federator) Query(script, varName string, chunkSize int) (*gdm.Dataset, error) {
+// queryNode runs the script on one member and fetches the staged result.
+// Whatever happens after staging succeeds — fetch errors, deadline expiry —
+// the staged result is released, so failures never leak the node's limited
+// staging slots.
+func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize int) (*gdm.Dataset, *NodeFailure) {
+	qr, err := c.Execute(ctx, script, varName)
+	if err != nil {
+		return nil, &NodeFailure{Node: c.BaseURL, Stage: "execute", Err: err}
+	}
+	release := func() {
+		if ctx.Err() == nil {
+			_ = c.Release(ctx, qr.ResultID)
+			return
+		}
+		// The query context is already dead; release in the background
+		// under its own deadline rather than stalling the caller or
+		// leaking the staging slot.
+		go func() {
+			rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), releaseTimeout)
+			defer cancel()
+			_ = c.Release(rctx, qr.ResultID)
+		}()
+	}
+	ds, err := c.FetchAll(ctx, qr.ResultID, chunkSize)
+	if err != nil {
+		release()
+		return nil, &NodeFailure{Node: c.BaseURL, Stage: "fetch", Err: err}
+	}
+	release()
+	return ds, nil
+}
+
+// Query runs the script on every member concurrently and merges the
+// results (sample union, in member order).
+//
+// Under the default strict policy any member failure aborts the query:
+// the merged dataset is nil and the error carries the failure report.
+// With Policy.AllowPartial, the reachable members' results are merged and
+// returned together with a PartialFailure naming exactly the members that
+// were skipped (nil when every member answered); the query only errors
+// when fewer than Policy.Quorum members succeed.
+func (f *Federator) Query(ctx context.Context, script, varName string, chunkSize int) (*gdm.Dataset, *PartialFailure, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if f.Policy.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.Policy.Deadline)
+		defer cancel()
+	}
+	type nodeResult struct {
+		ds   *gdm.Dataset
+		fail *NodeFailure
+	}
+	results := make([]nodeResult, len(f.Clients))
+	var wg sync.WaitGroup
+	for i, c := range f.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			ds, fail := queryNode(ctx, c, script, varName, chunkSize)
+			results[i] = nodeResult{ds, fail}
+		}(i, c)
+	}
+	wg.Wait()
+
 	var merged *gdm.Dataset
-	for _, c := range f.Clients {
-		qr, err := c.Execute(script, varName)
-		if err != nil {
-			return nil, err
-		}
-		ds, err := c.FetchAll(qr.ResultID, chunkSize)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.Release(qr.ResultID); err != nil {
-			return nil, err
-		}
-		if merged == nil {
-			merged = ds
+	var report *PartialFailure
+	successes := 0
+	for _, r := range results {
+		if r.fail != nil {
+			if report == nil {
+				report = &PartialFailure{}
+			}
+			report.Failed = append(report.Failed, *r.fail)
 			continue
 		}
-		u, err := engine.Union(engine.Config{MetaFirst: true}, merged, ds)
+		successes++
+		if merged == nil {
+			merged = r.ds
+			continue
+		}
+		u, err := engine.Union(engine.Config{MetaFirst: true}, merged, r.ds)
 		if err != nil {
-			return nil, err
+			return nil, report, err
 		}
 		merged = u
 	}
-	return merged, nil
+	if report == nil {
+		return merged, nil, nil
+	}
+	if !f.Policy.AllowPartial {
+		return nil, report, fmt.Errorf("federated query aborted: %w", report)
+	}
+	if successes < f.Policy.quorum() {
+		return nil, report, fmt.Errorf("federated query below quorum (%d/%d members answered): %w",
+			successes, len(f.Clients), report)
+	}
+	return merged, report, nil
 }
 
 // QueryNaive is the baseline architecture: download every input dataset the
 // script references from every node and evaluate locally. It moves the full
 // inputs over the network instead of the results.
-func (f *Federator) QueryNaive(script, varName string, datasets []string, cfg engine.Config) (*gdm.Dataset, error) {
+func (f *Federator) QueryNaive(ctx context.Context, script, varName string, datasets []string, cfg engine.Config) (*gdm.Dataset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var merged *gdm.Dataset
 	for _, c := range f.Clients {
 		cat := engine.MapCatalog{}
 		for _, name := range datasets {
-			ds, err := c.DownloadDataset(name)
+			ds, err := c.DownloadDataset(ctx, name)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -52,11 +53,11 @@ func flakyNode(t *testing.T, mode, trigger string, times int32) *httptest.Server
 func TestClientSurvivesServerErrorStatuses(t *testing.T) {
 	ts := flakyNode(t, "status", "/datasets", 1)
 	c := NewClient(ts.URL)
-	if _, err := c.ListDatasets(); err == nil {
+	if _, err := c.ListDatasets(context.Background()); err == nil {
 		t.Fatal("injected 500 not surfaced")
 	}
 	// The failure was transient; the next call succeeds.
-	infos, err := c.ListDatasets()
+	infos, err := c.ListDatasets(context.Background())
 	if err != nil || len(infos) != 1 {
 		t.Fatalf("recovery failed: %v %v", infos, err)
 	}
@@ -65,15 +66,15 @@ func TestClientSurvivesServerErrorStatuses(t *testing.T) {
 func TestClientRejectsGarbagePayload(t *testing.T) {
 	ts := flakyNode(t, "garbage", "/results/", 1)
 	c := NewClient(ts.URL)
-	qr, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X")
+	qr, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.FetchChunk(qr.ResultID, 0, 10); err == nil {
+	if _, _, err := c.FetchChunk(context.Background(), qr.ResultID, 0, 10); err == nil {
 		t.Fatal("garbage payload decoded")
 	}
 	// Retry succeeds once the sabotage budget is spent.
-	if _, _, err := c.FetchChunk(qr.ResultID, 0, 10); err != nil {
+	if _, _, err := c.FetchChunk(context.Background(), qr.ResultID, 0, 10); err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
 }
@@ -81,11 +82,11 @@ func TestClientRejectsGarbagePayload(t *testing.T) {
 func TestClientRejectsTruncatedPayload(t *testing.T) {
 	ts := flakyNode(t, "truncate", "/results/", 1)
 	c := NewClient(ts.URL)
-	qr, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X")
+	qr, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.FetchChunk(qr.ResultID, 0, 100); err == nil {
+	if _, _, err := c.FetchChunk(context.Background(), qr.ResultID, 0, 100); err == nil {
 		t.Fatal("truncated payload decoded")
 	}
 }
@@ -94,26 +95,26 @@ func TestFederatorAbortsOnMemberFailure(t *testing.T) {
 	good := flakyNode(t, "status", "/never", 0)
 	bad := flakyNode(t, "status", "/query", 99)
 	fed := &Federator{Clients: []*Client{NewClient(good.URL), NewClient(bad.URL)}}
-	if _, err := fed.Query(`X = SELECT() ENCODE; MATERIALIZE X;`, "X", 4); err == nil {
+	if _, _, err := fed.Query(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X", 4); err == nil {
 		t.Fatal("member failure swallowed")
 	}
 }
 
 func TestClientUnreachableHost(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1")
-	if _, err := c.ListDatasets(); err == nil {
+	if _, err := c.ListDatasets(context.Background()); err == nil {
 		t.Error("unreachable list succeeded")
 	}
-	if _, err := c.Execute("X = SELECT() A; MATERIALIZE X;", "X"); err == nil {
+	if _, err := c.Execute(context.Background(), "X = SELECT() A; MATERIALIZE X;", "X"); err == nil {
 		t.Error("unreachable execute succeeded")
 	}
-	if _, err := c.DownloadDataset("A"); err == nil {
+	if _, err := c.DownloadDataset(context.Background(), "A"); err == nil {
 		t.Error("unreachable download succeeded")
 	}
-	if err := c.Release("r1"); err == nil {
+	if err := c.Release(context.Background(), "r1"); err == nil {
 		t.Error("unreachable release succeeded")
 	}
-	if _, _, err := c.FetchChunk("r1", 0, 1); err == nil {
+	if _, _, err := c.FetchChunk(context.Background(), "r1", 0, 1); err == nil {
 		t.Error("unreachable fetch succeeded")
 	}
 }

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ MATERIALIZE RESULT;
 func TestListDatasets(t *testing.T) {
 	_, ts := newNode(t, "node1", 1, 20)
 	c := NewClient(ts.URL)
-	infos, err := c.ListDatasets()
+	infos, err := c.ListDatasets(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestListDatasets(t *testing.T) {
 func TestCompileWithEstimate(t *testing.T) {
 	_, ts := newNode(t, "node1", 2, 30)
 	c := NewClient(ts.URL)
-	resp, err := c.Compile(fedScript, "RESULT")
+	resp, err := c.Compile(context.Background(), fedScript, "RESULT")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCompileWithEstimate(t *testing.T) {
 		t.Errorf("estimate = %+v", resp.Estimate)
 	}
 	// Broken script: compile error travels back, not an HTTP failure.
-	bad, err := c.Compile("X = FROB() Y;", "X")
+	bad, err := c.Compile(context.Background(), "X = FROB() Y;", "X")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestCompileWithEstimate(t *testing.T) {
 func TestExecuteAndStagedRetrieval(t *testing.T) {
 	srv, ts := newNode(t, "node1", 3, 25)
 	c := NewClient(ts.URL)
-	qr, err := c.Execute(fedScript, "RESULT")
+	qr, err := c.Execute(context.Background(), fedScript, "RESULT")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestExecuteAndStagedRetrieval(t *testing.T) {
 		t.Errorf("staged = %d", srv.StagedCount())
 	}
 	// Retrieve in chunks of 3 samples.
-	ds, err := c.FetchAll(qr.ResultID, 3)
+	ds, err := c.FetchAll(context.Background(), qr.ResultID, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +107,14 @@ func TestExecuteAndStagedRetrieval(t *testing.T) {
 		t.Errorf("fetched %d samples / %d regions, staged %d / %d",
 			len(ds.Samples), ds.NumRegions(), qr.Samples, qr.Regions)
 	}
-	if err := c.Release(qr.ResultID); err != nil {
+	if err := c.Release(context.Background(), qr.ResultID); err != nil {
 		t.Fatal(err)
 	}
 	if srv.StagedCount() != 0 {
 		t.Error("release did not free staging")
 	}
 	// Fetching a released result fails.
-	if _, _, err := c.FetchChunk(qr.ResultID, 0, 1); err == nil {
+	if _, _, err := c.FetchChunk(context.Background(), qr.ResultID, 0, 1); err == nil {
 		t.Error("fetch after release succeeded")
 	}
 }
@@ -121,18 +122,18 @@ func TestExecuteAndStagedRetrieval(t *testing.T) {
 func TestChunkBoundaries(t *testing.T) {
 	_, ts := newNode(t, "node1", 4, 10)
 	c := NewClient(ts.URL)
-	qr, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X")
+	qr, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X")
 	if err != nil {
 		t.Fatal(err)
 	}
-	chunk, total, err := c.FetchChunk(qr.ResultID, 8, 100)
+	chunk, total, err := c.FetchChunk(context.Background(), qr.ResultID, 8, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if total != 10 || len(chunk.Samples) != 2 {
 		t.Errorf("tail chunk = %d of %d", len(chunk.Samples), total)
 	}
-	beyond, _, err := c.FetchChunk(qr.ResultID, 99, 5)
+	beyond, _, err := c.FetchChunk(context.Background(), qr.ResultID, 99, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,21 +146,21 @@ func TestStagingLimit(t *testing.T) {
 	srv, ts := newNode(t, "node1", 5, 5)
 	srv.maxStay = 2
 	c := NewClient(ts.URL)
-	q1, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X")
+	q1, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X"); err != nil {
+	if _, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X"); err == nil {
+	if _, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X"); err == nil {
 		t.Error("staging limit not enforced")
 	}
 	// Releasing frees a slot.
-	if err := c.Release(q1.ResultID); err != nil {
+	if err := c.Release(context.Background(), q1.ResultID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Execute(`X = SELECT() ENCODE; MATERIALIZE X;`, "X"); err != nil {
+	if _, err := c.Execute(context.Background(), `X = SELECT() ENCODE; MATERIALIZE X;`, "X"); err != nil {
 		t.Errorf("slot not freed: %v", err)
 	}
 }
@@ -167,10 +168,10 @@ func TestStagingLimit(t *testing.T) {
 func TestRemoteQueryError(t *testing.T) {
 	_, ts := newNode(t, "node1", 6, 5)
 	c := NewClient(ts.URL)
-	if _, err := c.Execute(`X = SELECT() NO_SUCH; MATERIALIZE X;`, "X"); err == nil {
+	if _, err := c.Execute(context.Background(), `X = SELECT() NO_SUCH; MATERIALIZE X;`, "X"); err == nil {
 		t.Error("remote error not surfaced")
 	}
-	if _, err := c.Execute(`garbage`, "X"); err == nil {
+	if _, err := c.Execute(context.Background(), `garbage`, "X"); err == nil {
 		t.Error("parse error not surfaced")
 	}
 }
@@ -180,14 +181,17 @@ func TestFederatedVsNaiveEquivalenceAndTraffic(t *testing.T) {
 	_, ts2 := newNode(t, "node2", 8, 15)
 
 	fed := &Federator{Clients: []*Client{NewClient(ts1.URL), NewClient(ts2.URL)}}
-	fedResult, err := fed.Query(fedScript, "RESULT", 4)
+	fedResult, partial, err := fed.Query(context.Background(), fedScript, "RESULT", 4)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if partial != nil {
+		t.Fatalf("healthy members reported failures: %v", partial)
 	}
 	fedBytes := fed.BytesMoved()
 
 	naive := &Federator{Clients: []*Client{NewClient(ts1.URL), NewClient(ts2.URL)}}
-	naiveResult, err := naive.QueryNaive(fedScript, "RESULT",
+	naiveResult, err := naive.QueryNaive(context.Background(), fedScript, "RESULT",
 		[]string{"ANNOTATIONS", "ENCODE"},
 		engine.Config{Mode: engine.ModeSerial, MetaFirst: true})
 	if err != nil {
@@ -220,7 +224,7 @@ func TestDownloadDatasetRoundTrip(t *testing.T) {
 	srv, ts := newNode(t, "node1", 9, 8)
 	_ = srv
 	c := NewClient(ts.URL)
-	ds, err := c.DownloadDataset("ENCODE")
+	ds, err := c.DownloadDataset(context.Background(), "ENCODE")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +234,7 @@ func TestDownloadDatasetRoundTrip(t *testing.T) {
 	if err := ds.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.DownloadDataset("NOPE"); err == nil {
+	if _, err := c.DownloadDataset(context.Background(), "NOPE"); err == nil {
 		t.Error("unknown dataset download succeeded")
 	}
 }
@@ -288,11 +292,11 @@ func TestEstimateWithinOrderOfMagnitude(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	c := NewClient(ts.URL)
-	comp, err := c.Compile(fedScript, "RESULT")
+	comp, err := c.Compile(context.Background(), fedScript, "RESULT")
 	if err != nil || !comp.OK {
 		t.Fatalf("compile: %v %s", err, comp.Error)
 	}
-	qr, err := c.Execute(fedScript, "RESULT")
+	qr, err := c.Execute(context.Background(), fedScript, "RESULT")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,26 +324,26 @@ PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
 HITS = MAP(n AS COUNT) MY_REGIONS PEAKS;
 MATERIALIZE HITS;
 `
-	qr, err := c.ExecuteWithUserData(script, "HITS", user)
+	qr, err := c.ExecuteWithUserData(context.Background(), script, "HITS", user)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if qr.Samples == 0 {
 		t.Fatal("query over user dataset returned nothing")
 	}
-	ds, err := c.FetchAll(qr.ResultID, 4)
+	ds, err := c.FetchAll(context.Background(), qr.ResultID, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := ds.Schema.Index("n"); !ok {
 		t.Errorf("schema = %s", ds.Schema)
 	}
-	if err := c.Release(qr.ResultID); err != nil {
+	if err := c.Release(context.Background(), qr.ResultID); err != nil {
 		t.Fatal(err)
 	}
 
 	// Privacy: the user dataset never appears in the node's catalog.
-	infos, err := c.ListDatasets()
+	infos, err := c.ListDatasets(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +353,7 @@ MATERIALIZE HITS;
 		}
 	}
 	// And a later query cannot see it.
-	if _, err := c.Execute(`X = SELECT() MY_REGIONS; MATERIALIZE X;`, "X"); err == nil {
+	if _, err := c.Execute(context.Background(), `X = SELECT() MY_REGIONS; MATERIALIZE X;`, "X"); err == nil {
 		t.Error("private user dataset persisted across requests")
 	}
 	_ = srv
@@ -359,7 +363,7 @@ func TestUserDatasetCorrupt(t *testing.T) {
 	_, ts := newNode(t, "node1", 13, 4)
 	c := NewClient(ts.URL)
 	var out QueryResponse
-	err := c.postJSON("/query", QueryRequest{
+	err := c.postJSON(context.Background(), "/query", QueryRequest{
 		Script: `X = SELECT() ENCODE; MATERIALIZE X;`, Var: "X",
 		UserDataset: "GARBAGE",
 	}, &out)

@@ -1,0 +1,195 @@
+package genomenet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genogo/internal/resilience"
+	"genogo/internal/synth"
+)
+
+// multiHost publishes n public datasets named D0..D(n-1).
+func multiHost(t *testing.T, seed int64, n int) *Host {
+	t.Helper()
+	g := synth.New(seed)
+	h := NewHost("lab")
+	for i := 0; i < n; i++ {
+		ds := g.Encode(synth.EncodeOptions{Samples: 3, MeanPeaks: 6})
+		ds.Name = "D" + string(rune('0'+i))
+		h.Publish(ds, true)
+	}
+	return h
+}
+
+// failNth wraps a handler and fails every request whose path has the given
+// prefix once the request counter for that prefix passes n (0-based).
+type failNth struct {
+	inner  http.Handler
+	prefix string
+	n      int32
+	seen   int32
+}
+
+func (f *failNth) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, f.prefix) {
+		if atomic.AddInt32(&f.seen, 1)-1 >= f.n {
+			http.Error(w, "injected mid-crawl failure", http.StatusInternalServerError)
+			return
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestCrawlMidFlightMetaFailureKeepsIndexConsistent: the host dies while
+// serving the second dataset's metadata. The first, fully crawled dataset
+// stays indexed; the second must not appear anywhere — no datasets entry,
+// no metadata, no fingerprint (so a re-crawl retries it).
+func TestCrawlMidFlightMetaFailureKeepsIndexConsistent(t *testing.T) {
+	host := multiHost(t, 21, 3)
+	ts := httptest.NewServer(&failNth{inner: host.Handler(), prefix: "/meta/", n: 1})
+	defer ts.Close()
+	svc := NewSearchService(nil)
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err == nil {
+		t.Fatal("mid-crawl failure swallowed")
+	}
+	if got := svc.NumIndexed(); got != 1 {
+		t.Fatalf("indexed = %d, want only the fully crawled dataset", got)
+	}
+	svc.mu.Lock()
+	for k := range svc.datasets {
+		if !strings.HasSuffix(k, "|D0") {
+			t.Errorf("partially crawled dataset committed: %s", k)
+		}
+	}
+	for k := range svc.metaOf {
+		if strings.Contains(k, "|D1|") || strings.Contains(k, "|D2|") {
+			t.Errorf("partial metadata entry leaked: %s", k)
+		}
+	}
+	if _, ok := svc.fingerprints[ts.URL+"|D1"]; ok {
+		t.Error("failed dataset's fingerprint recorded; re-crawl would skip it")
+	}
+	svc.mu.Unlock()
+	// The index over the committed entries still answers queries.
+	if hits := svc.Search("D0", false); len(hits) == 0 {
+		_ = hits // keyword may not match metadata; consistency is what matters
+	}
+}
+
+// TestCrawlBodyFailureDoesNotCommitMeta: the metadata fetch succeeds but
+// the body fetch fails. The dataset must not be half-committed with
+// metadata indexed and no body.
+func TestCrawlBodyFailureDoesNotCommitMeta(t *testing.T) {
+	host := multiHost(t, 22, 2)
+	// First body (D0) succeeds, second (D1) fails.
+	ts := httptest.NewServer(&failNth{inner: host.Handler(), prefix: "/data/", n: 1})
+	defer ts.Close()
+	svc := NewSearchService(nil)
+	err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{FetchBodies: 2}, nil)
+	if err == nil {
+		t.Fatal("body failure swallowed")
+	}
+	if got := svc.NumIndexed(); got != 1 {
+		t.Fatalf("indexed = %d, want 1", got)
+	}
+	svc.mu.Lock()
+	if _, ok := svc.datasets[ts.URL+"|D1"]; ok {
+		t.Error("dataset whose body fetch failed was committed")
+	}
+	svc.mu.Unlock()
+	// A healthy re-crawl picks up everything.
+	healthy := httptest.NewServer(host.Handler())
+	defer healthy.Close()
+	if err := svc.Crawl(context.Background(), []string{healthy.URL}, CrawlOptions{FetchBodies: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.NumIndexed(); got != 3 { // 1 old key + 2 under the new URL
+		t.Fatalf("after healthy re-crawl indexed = %d", got)
+	}
+}
+
+// TestCrawlSkipFailedHosts: degraded crawling records the dead host and
+// still indexes the healthy one.
+func TestCrawlSkipFailedHosts(t *testing.T) {
+	good := httptest.NewServer(multiHost(t, 23, 2).Handler())
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	svc := NewSearchService(nil)
+	err := svc.Crawl(context.Background(), []string{bad.URL, good.URL},
+		CrawlOptions{SkipFailedHosts: true}, nil)
+	if err != nil {
+		t.Fatalf("degraded crawl aborted: %v", err)
+	}
+	if got := svc.NumIndexed(); got != 2 {
+		t.Fatalf("indexed = %d, want the healthy host's 2", got)
+	}
+	if len(svc.LastCrawl.FailedHosts) != 1 || !strings.HasPrefix(svc.LastCrawl.FailedHosts[0], bad.URL) {
+		t.Fatalf("FailedHosts = %v", svc.LastCrawl.FailedHosts)
+	}
+}
+
+// TestCrawlRetriesAbsorbTransientFaults: a seeded chaos transport with a
+// modest fault rate plus retries yields a complete crawl.
+func TestCrawlRetriesAbsorbTransientFaults(t *testing.T) {
+	ts := httptest.NewServer(multiHost(t, 24, 3).Handler())
+	defer ts.Close()
+	chaos := &resilience.ChaosTransport{Seed: 77, ErrorRate: 0.15, DropRate: 0.05}
+	httpc := &http.Client{Transport: chaos, Timeout: 10 * time.Second}
+	svc := NewSearchService(nil)
+	err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{
+		FetchBodies: 1,
+		Retrier: &resilience.Retrier{
+			MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		},
+	}, httpc)
+	if err != nil {
+		t.Fatalf("crawl failed despite retries: %v (faults injected: %d)", err, chaos.Faults())
+	}
+	if got := svc.NumIndexed(); got != 3 {
+		t.Fatalf("indexed = %d, want 3", got)
+	}
+	if chaos.Faults() == 0 {
+		t.Fatal("chaos transport injected nothing; test proves nothing")
+	}
+}
+
+// TestCrawlHonorsContextCancellation: a cancelled context stops the crawl
+// promptly with a consistent index.
+func TestCrawlHonorsContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(multiHost(t, 25, 3).Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	svc := NewSearchService(nil)
+	if err := svc.Crawl(ctx, []string{ts.URL}, CrawlOptions{}, nil); err == nil {
+		t.Fatal("cancelled crawl reported success")
+	}
+	if got := svc.NumIndexed(); got != 0 {
+		t.Fatalf("cancelled crawl indexed %d datasets", got)
+	}
+}
+
+// TestCrawlTruncatedBodyNotCommitted: a truncated dataset body is a decode
+// error; the dataset must not enter the cache or index.
+func TestCrawlTruncatedBodyNotCommitted(t *testing.T) {
+	ts := httptest.NewServer(multiHost(t, 26, 1).Handler())
+	defer ts.Close()
+	chaos := &resilience.ChaosTransport{Seed: 5, TruncateRate: 1}
+	httpc := &http.Client{Transport: chaos, Timeout: 10 * time.Second}
+	svc := NewSearchService(nil)
+	err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{FetchBodies: 1}, httpc)
+	if err == nil {
+		t.Fatal("truncated body decoded")
+	}
+	if got := svc.NumIndexed(); got != 0 {
+		t.Fatalf("indexed = %d after truncated crawl", got)
+	}
+}

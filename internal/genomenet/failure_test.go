@@ -1,6 +1,7 @@
 package genomenet
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -40,7 +41,7 @@ func TestCrawlSurfacesManifestFailure(t *testing.T) {
 	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/manifest", "status"))
 	defer ts.Close()
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err == nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err == nil {
 		t.Fatal("broken manifest swallowed")
 	}
 }
@@ -49,7 +50,7 @@ func TestCrawlSurfacesGarbageManifest(t *testing.T) {
 	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/manifest", "garbage"))
 	defer ts.Close()
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err == nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err == nil {
 		t.Fatal("garbage manifest decoded")
 	}
 }
@@ -58,7 +59,7 @@ func TestCrawlSurfacesMetaFailure(t *testing.T) {
 	ts := httptest.NewServer(sabotage(publishingHost(t).Handler(), "/meta/", "status"))
 	defer ts.Close()
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err == nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err == nil {
 		t.Fatal("broken metadata endpoint swallowed")
 	}
 }
@@ -68,12 +69,12 @@ func TestCrawlSurfacesBodyFailure(t *testing.T) {
 	defer ts.Close()
 	svc := NewSearchService(nil)
 	// Metadata-only crawls never touch /data and must succeed.
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatalf("metadata-only crawl failed: %v", err)
 	}
 	// Body-fetching crawls fail loudly.
 	svc2 := NewSearchService(nil)
-	if err := svc2.Crawl([]string{ts.URL}, CrawlOptions{FetchBodies: 1}, nil); err == nil {
+	if err := svc2.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{FetchBodies: 1}, nil); err == nil {
 		t.Fatal("garbage dataset body decoded")
 	}
 }

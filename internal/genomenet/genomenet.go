@@ -9,6 +9,7 @@ package genomenet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -17,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/expr"
@@ -24,6 +26,17 @@ import (
 	"genogo/internal/gdm"
 	"genogo/internal/meta"
 	"genogo/internal/ontology"
+	"genogo/internal/resilience"
+)
+
+// Crawler resilience defaults.
+const (
+	// DefaultCrawlTimeout bounds each HTTP request of the default crawl
+	// client.
+	DefaultCrawlTimeout = 30 * time.Second
+	// DefaultMaxBodyBytes caps each fetched payload, bounding the memory a
+	// misbehaving host can make the crawler allocate.
+	DefaultMaxBodyBytes = 256 << 20
 )
 
 // ManifestEntry is one published link: the unit of the publishing protocol.
@@ -183,6 +196,9 @@ type CrawlStats struct {
 	Visited int // public links seen in manifests
 	Updated int // links whose metadata was (re)fetched and indexed
 	Skipped int // links skipped because their fingerprint was unchanged
+	// FailedHosts lists the hosts a degraded crawl (SkipFailedHosts) gave
+	// up on, with the failure appended after a tab.
+	FailedHosts []string
 }
 
 // SearchService is the third-party crawler + index + search system.
@@ -217,67 +233,117 @@ type CrawlOptions struct {
 	// (0 = metadata only). The paper's crawler downloads metadata always
 	// and datasets "with an agreed, non-intrusive protocol".
 	FetchBodies int
+	// Retrier retries transient fetch failures (nil = no retries).
+	Retrier *resilience.Retrier
+	// SkipFailedHosts degrades instead of aborting: a host whose fetches
+	// keep failing is recorded in CrawlStats.FailedHosts and the crawl
+	// moves on to the next host. Entries already committed stay indexed.
+	SkipFailedHosts bool
+	// MaxBodyBytes caps each fetched payload; <= 0 means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
 }
 
+func (o CrawlOptions) maxBody() int64 {
+	if o.MaxBodyBytes > 0 {
+		return o.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// defaultCrawlClient is the crawler's own HTTP client — never
+// http.DefaultClient, whose missing timeout would let one dead host hang a
+// crawl forever.
+var defaultCrawlClient = &http.Client{Timeout: DefaultCrawlTimeout}
+
 // Crawl visits every host: fetch manifest, fetch metadata of every public
-// link, optionally fetch dataset bodies, and index everything.
-func (s *SearchService) Crawl(hostURLs []string, opt CrawlOptions, httpc *http.Client) error {
+// link, optionally fetch dataset bodies, and index everything. A link is
+// committed to the index only after every fetch it needs has succeeded, so
+// a host that dies mid-crawl can never leave partially indexed garbage —
+// the index always reflects some consistent set of fully crawled links.
+func (s *SearchService) Crawl(ctx context.Context, hostURLs []string, opt CrawlOptions, httpc *http.Client) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = defaultCrawlClient
 	}
 	stats := CrawlStats{}
 	dirty := false
+	finish := func(err error) error {
+		if dirty {
+			s.rebuildIndex()
+		}
+		s.mu.Lock()
+		s.LastCrawl = stats
+		s.mu.Unlock()
+		return err
+	}
 	for _, base := range hostURLs {
-		entries, err := fetchManifest(httpc, base)
+		err := s.crawlHost(ctx, base, opt, httpc, &stats, &dirty)
+		if err == nil {
+			continue
+		}
+		if !opt.SkipFailedHosts {
+			return finish(err)
+		}
+		stats.FailedHosts = append(stats.FailedHosts, base+"\t"+err.Error())
+	}
+	return finish(nil)
+}
+
+// crawlHost crawls one host's public links, committing each link only once
+// all its fetches succeeded.
+func (s *SearchService) crawlHost(ctx context.Context, base string, opt CrawlOptions, httpc *http.Client, stats *CrawlStats, dirty *bool) error {
+	entries, err := fetchManifest(ctx, httpc, opt, base)
+	if err != nil {
+		return fmt.Errorf("genomenet: crawl %s: %w", base, err)
+	}
+	fetched := 0
+	for _, e := range entries {
+		if !e.Public {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("genomenet: crawl %s: %w", base, cerr)
+		}
+		stats.Visited++
+		key := base + "|" + e.Name
+		s.mu.Lock()
+		unchanged := e.Fingerprint != "" && s.fingerprints[key] == e.Fingerprint
+		s.mu.Unlock()
+		if unchanged {
+			stats.Skipped++
+			continue
+		}
+		// Fetch everything the link needs BEFORE touching the index.
+		metaLines, err := fetchText(ctx, httpc, opt, base+e.MetaURL)
 		if err != nil {
-			return fmt.Errorf("genomenet: crawl %s: %w", base, err)
+			return fmt.Errorf("genomenet: crawl %s/%s: %w", base, e.Name, err)
 		}
-		fetched := 0
-		for _, e := range entries {
-			if !e.Public {
-				continue
-			}
-			stats.Visited++
-			key := base + "|" + e.Name
-			s.mu.Lock()
-			unchanged := e.Fingerprint != "" && s.fingerprints[key] == e.Fingerprint
-			s.mu.Unlock()
-			if unchanged {
-				stats.Skipped++
-				continue
-			}
-			metaLines, err := fetchText(httpc, base+e.MetaURL)
+		var body *gdm.Dataset
+		if fetched < opt.FetchBodies {
+			body, err = fetchDataset(ctx, httpc, opt, base+e.DataURL)
 			if err != nil {
-				return fmt.Errorf("genomenet: crawl %s/%s: %w", base, e.Name, err)
+				return fmt.Errorf("genomenet: crawl %s/%s body: %w", base, e.Name, err)
 			}
-			s.indexMeta(base, e, metaLines)
-			dirty = true
-			stats.Updated++
-			if fetched < opt.FetchBodies {
-				ds, err := fetchDataset(httpc, base+e.DataURL)
-				if err != nil {
-					return fmt.Errorf("genomenet: crawl %s/%s body: %w", base, e.Name, err)
-				}
-				s.mu.Lock()
-				s.cache[key] = ds
-				d := s.datasets[key]
-				d.Cached = true
-				s.datasets[key] = d
-				s.mu.Unlock()
-				fetched++
-			}
-			s.mu.Lock()
-			s.fingerprints[key] = e.Fingerprint
-			s.CrawlLog = append(s.CrawlLog, base+"/"+e.Name)
-			s.mu.Unlock()
+			fetched++
 		}
+		// Commit the fully fetched link.
+		s.indexMeta(base, e, metaLines)
+		s.mu.Lock()
+		if body != nil {
+			s.cache[key] = body
+			d := s.datasets[key]
+			d.Cached = true
+			s.datasets[key] = d
+		}
+		s.fingerprints[key] = e.Fingerprint
+		s.CrawlLog = append(s.CrawlLog, base+"/"+e.Name)
+		s.mu.Unlock()
+		*dirty = true
+		stats.Updated++
 	}
-	if dirty {
-		s.rebuildIndex()
-	}
-	s.mu.Lock()
-	s.LastCrawl = stats
-	s.mu.Unlock()
 	return nil
 }
 
@@ -303,47 +369,64 @@ func (s *SearchService) rebuildIndex() {
 	}
 }
 
-func fetchManifest(c *http.Client, base string) ([]ManifestEntry, error) {
-	resp, err := c.Get(base + "/manifest")
-	if err != nil {
+// fetchBytes performs one capped, optionally retried GET.
+func fetchBytes(ctx context.Context, c *http.Client, opt CrawlOptions, url string) ([]byte, error) {
+	var body []byte
+	op := func(ctx context.Context) error {
+		body = nil
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		limit := opt.maxBody()
+		b, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+		if err != nil {
+			return err
+		}
+		if int64(len(b)) > limit {
+			return fmt.Errorf("%s: response exceeds %d-byte cap", url, limit)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return &resilience.StatusError{Code: resp.StatusCode, Status: resp.Status}
+		}
+		body = b
+		return nil
+	}
+	if err := opt.Retrier.Do(ctx, op); err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("manifest: %s", resp.Status)
+	return body, nil
+}
+
+func fetchManifest(ctx context.Context, c *http.Client, opt CrawlOptions, base string) ([]ManifestEntry, error) {
+	body, err := fetchBytes(ctx, c, opt, base+"/manifest")
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
 	}
 	var out []ManifestEntry
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.Unmarshal(body, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func fetchText(c *http.Client, url string) (string, error) {
-	resp, err := c.Get(url)
+func fetchText(ctx context.Context, c *http.Client, opt CrawlOptions, url string) (string, error) {
+	body, err := fetchBytes(ctx, c, opt, url)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%s: %w", url, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("%s: %s", url, resp.Status)
-	}
-	body, err := io.ReadAll(resp.Body)
-	return string(body), err
+	return string(body), nil
 }
 
-func fetchDataset(c *http.Client, url string) (*gdm.Dataset, error) {
-	resp, err := c.Get(url)
+func fetchDataset(ctx context.Context, c *http.Client, opt CrawlOptions, url string) (*gdm.Dataset, error) {
+	body, err := fetchBytes(ctx, c, opt, url)
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: %s", url, resp.Status)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: %w", url, err)
 	}
 	return formats.DecodeDataset(bytes.NewReader(body))
 }

@@ -1,6 +1,7 @@
 package genomenet
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -31,7 +32,7 @@ func newHost(t *testing.T, name string, seed int64) (*Host, *httptest.Server) {
 func TestManifestHidesPrivateLinks(t *testing.T) {
 	_, ts := newHost(t, "lab1", 1)
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if svc.NumIndexed() != 2 {
@@ -48,7 +49,7 @@ func TestCrawlAndKeywordSearch(t *testing.T) {
 	_, ts1 := newHost(t, "lab1", 2)
 	_, ts2 := newHost(t, "lab2", 3)
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts1.URL, ts2.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts1.URL, ts2.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if svc.NumIndexed() != 4 {
@@ -77,7 +78,7 @@ func TestCrawlAndKeywordSearch(t *testing.T) {
 func TestCrawlWithBodiesAndSnippetInRepo(t *testing.T) {
 	_, ts := newHost(t, "lab1", 4)
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{FetchBodies: 1}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{FetchBodies: 1}, nil); err != nil {
 		t.Fatal(err)
 	}
 	inRepo := 0
@@ -110,7 +111,7 @@ func TestOntologicalSearchOverCrawl(t *testing.T) {
 	defer ts.Close()
 
 	svc := NewSearchService(ontology.Biomedical())
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	plain := svc.Search("cancer", false)
@@ -157,7 +158,7 @@ func TestRegionSearchRanking(t *testing.T) {
 	defer ts2.Close()
 
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts1.URL, ts2.URL}, CrawlOptions{FetchBodies: 10}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts1.URL, ts2.URL}, CrawlOptions{FetchBodies: 10}, nil); err != nil {
 		t.Fatal(err)
 	}
 	query := gdm.NewSample("q")
@@ -205,7 +206,7 @@ func TestSearchPrecisionRecallOnSeededCorpus(t *testing.T) {
 	ts := httptest.NewServer(h.Handler())
 	defer ts.Close()
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	hits := svc.Search("CTCF", false)
@@ -223,7 +224,7 @@ func fmtSample(i int) string { return "s" + string(rune('a'+i%26)) + string(rune
 
 func TestCrawlErrors(t *testing.T) {
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{"http://127.0.0.1:1"}, CrawlOptions{}, nil); err == nil {
+	if err := svc.Crawl(context.Background(), []string{"http://127.0.0.1:1"}, CrawlOptions{}, nil); err == nil {
 		t.Error("unreachable host crawl succeeded")
 	}
 }
@@ -238,7 +239,7 @@ func TestIncrementalRecrawl(t *testing.T) {
 	defer ts.Close()
 
 	svc := NewSearchService(nil)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if svc.LastCrawl.Updated != 1 || svc.LastCrawl.Skipped != 0 {
@@ -250,7 +251,7 @@ func TestIncrementalRecrawl(t *testing.T) {
 	}
 
 	// Unchanged re-crawl: everything skipped, index intact.
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if svc.LastCrawl.Skipped != 1 || svc.LastCrawl.Updated != 0 {
@@ -268,7 +269,7 @@ func TestIncrementalRecrawl(t *testing.T) {
 		s.Meta.Set("dataType", "RnaSeq")
 	}
 	h.Publish(changed, true)
-	if err := svc.Crawl([]string{ts.URL}, CrawlOptions{}, nil); err != nil {
+	if err := svc.Crawl(context.Background(), []string{ts.URL}, CrawlOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if svc.LastCrawl.Updated != 1 {

@@ -1,0 +1,172 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// Closed: requests flow; failures are counted.
+	Closed BreakerState = iota
+	// Open: requests are rejected immediately until the cooldown expires.
+	Open
+	// HalfOpen: one probe request is allowed through; its outcome decides
+	// whether the circuit closes again or re-opens.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open: the
+// endpoint has been failing consistently and is not worth a request.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Breaker is a per-endpoint circuit breaker. After FailureThreshold
+// consecutive classified failures the circuit opens: requests fail fast
+// with ErrOpen for Cooldown, then a single probe is admitted (half-open);
+// a successful probe closes the circuit, a failed one re-opens it.
+//
+// The zero value is usable with the defaults below. All methods are safe
+// for concurrent use.
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit; <= 0 means 5.
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// probe; <= 0 means 5s.
+	Cooldown time.Duration
+	// Classify decides which errors count as endpoint failures; caller
+	// errors (4xx, parse failures) should not trip the breaker.
+	// Default Retryable.
+	Classify func(error) bool
+	// Now is the clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 5 * time.Second
+}
+
+// Allow reports whether a request may proceed, returning ErrOpen when the
+// circuit rejects it. A nil return in the half-open state claims the probe
+// slot; the caller must follow up with Report.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return ErrOpen
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return nil
+	default: // HalfOpen
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Report records a request outcome. Errors the classifier deems permanent
+// (caller errors) reset nothing and trip nothing; they are the endpoint
+// working as intended.
+func (b *Breaker) Report(err error) {
+	if b == nil {
+		return
+	}
+	classify := b.Classify
+	if classify == nil {
+		classify = Retryable
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = Closed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	if !classify(err) {
+		if b.state == HalfOpen {
+			// A permanent error still proves the endpoint answers.
+			b.state = Closed
+			b.failures = 0
+			b.probing = false
+		}
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+	default:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.state = Open
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// State reports the current state, advancing Open to HalfOpen when the
+// cooldown has expired (so monitoring sees the same state Allow would).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown() {
+		return HalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// clock is an injectable test clock.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time                 { return c.t }
+func (c *clock) advance(d time.Duration)        { c.t = c.t.Add(d) }
+func newBreaker(c *clock, threshold int) *Breaker {
+	return &Breaker{FailureThreshold: threshold, Cooldown: time.Second, Now: c.now}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := newBreaker(c, 3)
+	fail := io.ErrUnexpectedEOF
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected request %d: %v", i, err)
+		}
+		b.Report(fail)
+		if b.State() != Closed {
+			t.Fatalf("opened after %d failures", i+1)
+		}
+	}
+	b.Report(fail)
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted a request: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := newBreaker(c, 1)
+	b.Report(io.ErrUnexpectedEOF)
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	c.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("after cooldown state = %v", b.State())
+	}
+	// One probe admitted; concurrent requests still rejected.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second in-flight probe admitted: %v", err)
+	}
+	b.Report(nil)
+	if b.State() != Closed {
+		t.Fatalf("successful probe left state %v", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeReopens(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := newBreaker(c, 1)
+	b.Report(io.ErrUnexpectedEOF)
+	c.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Report(io.ErrUnexpectedEOF)
+	if b.State() != Open {
+		t.Fatalf("failed probe left state %v", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+	// A fresh cooldown applies after re-opening.
+	c.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Report(nil)
+	if b.State() != Closed {
+		t.Fatal("recovery failed")
+	}
+}
+
+func TestBreakerIgnoresCallerErrors(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := newBreaker(c, 1)
+	// 4xx and parse errors must never trip the breaker.
+	for i := 0; i < 10; i++ {
+		b.Report(&StatusError{Code: 404, Status: "404 Not Found"})
+		b.Report(errors.New("parse error"))
+	}
+	if b.State() != Closed {
+		t.Fatalf("caller errors tripped breaker: %v", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := newBreaker(c, 3)
+	b.Report(io.ErrUnexpectedEOF)
+	b.Report(io.ErrUnexpectedEOF)
+	b.Report(nil)
+	b.Report(io.ErrUnexpectedEOF)
+	b.Report(io.ErrUnexpectedEOF)
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped breaker")
+	}
+	b.Report(io.ErrUnexpectedEOF)
+	if b.State() != Open {
+		t.Fatal("three consecutive failures did not trip breaker")
+	}
+}
+
+func TestNilBreakerAlwaysAllows(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(io.ErrUnexpectedEOF)
+	if b.State() != Closed {
+		t.Fatal("nil breaker has state")
+	}
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosTransport is a deterministic fault-injecting http.RoundTripper for
+// chaos tests: with the configured probabilities it injects transient 503
+// responses, connection-level errors, extra latency, and truncated bodies.
+// All randomness comes from one seeded source, so a given (seed, request
+// sequence) pair always injects the same faults.
+type ChaosTransport struct {
+	// Inner performs the real round trips. Default http.DefaultTransport.
+	Inner http.RoundTripper
+	// Seed fixes the fault schedule; 0 seeds from 1.
+	Seed int64
+	// ErrorRate is the probability of answering 503 without calling Inner.
+	ErrorRate float64
+	// DropRate is the probability of a connection-level error.
+	DropRate float64
+	// LatencyRate is the probability of delaying a request by Latency.
+	// The delay honors the request context, so a deadline still fires.
+	LatencyRate float64
+	// Latency is the injected delay.
+	Latency time.Duration
+	// TruncateRate is the probability of delivering only half the body.
+	TruncateRate float64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+// Faults reports how many faults have been injected so far.
+func (t *ChaosTransport) Faults() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+// roll draws one uniform [0,1) variate from the seeded source.
+func (t *ChaosTransport) roll() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		seed := t.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		t.rng = rand.New(rand.NewSource(seed))
+	}
+	return t.rng.Float64()
+}
+
+func (t *ChaosTransport) fault() {
+	t.mu.Lock()
+	t.injected++
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.LatencyRate > 0 && t.roll() < t.LatencyRate {
+		t.fault()
+		timer := time.NewTimer(t.Latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if t.DropRate > 0 && t.roll() < t.DropRate {
+		t.fault()
+		return nil, fmt.Errorf("chaos: injected connection reset (%s %s)", req.Method, req.URL.Path)
+	}
+	if t.ErrorRate > 0 && t.roll() < t.ErrorRate {
+		t.fault()
+		body := "chaos: injected server error"
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.TruncateRate > 0 && resp.StatusCode == http.StatusOK && t.roll() < t.TruncateRate {
+		t.fault()
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		// ContentLength matches the truncated body, so the damage looks
+		// like a complete (but corrupt) payload, not a transport error.
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		resp.Header.Del("Content-Length")
+	}
+	return resp, err
+}

@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chaosServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "0123456789abcdef")
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestChaosDeterministicSchedule(t *testing.T) {
+	ts := chaosServer(t)
+	run := func() []bool {
+		tr := &ChaosTransport{Seed: 42, ErrorRate: 0.3}
+		client := &http.Client{Transport: tr}
+		var outcomes []bool
+		for i := 0; i < 20; i++ {
+			resp, err := client.Get(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomes = append(outcomes, resp.StatusCode == http.StatusOK)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d", i)
+		}
+		if !a[i] {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("30% error rate injected nothing in 20 requests")
+	}
+}
+
+func TestChaosDropInjectsConnectionError(t *testing.T) {
+	ts := chaosServer(t)
+	client := &http.Client{Transport: &ChaosTransport{Seed: 1, DropRate: 1}}
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("drop rate 1 returned a response")
+	}
+	if !Retryable(err) {
+		t.Fatalf("injected connection error classified permanent: %v", err)
+	}
+}
+
+func TestChaosLatencyHonorsDeadline(t *testing.T) {
+	ts := chaosServer(t)
+	tr := &ChaosTransport{Seed: 1, LatencyRate: 1, Latency: 10 * time.Second}
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("hung request returned")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not fire: waited %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChaosTruncation(t *testing.T) {
+	ts := chaosServer(t)
+	client := &http.Client{Transport: &ChaosTransport{Seed: 1, TruncateRate: 1}}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "01234567" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestChaosPassthrough(t *testing.T) {
+	ts := chaosServer(t)
+	tr := &ChaosTransport{Seed: 1}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.HasPrefix(string(body), "0123") || tr.Faults() != 0 {
+		t.Fatalf("passthrough corrupted: body=%q faults=%d", body, tr.Faults())
+	}
+}

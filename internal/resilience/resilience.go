@@ -1,0 +1,76 @@
+// Package resilience provides the fault-tolerance primitives the federated
+// and Internet-of-Genomes paths are built on: retry with exponential backoff
+// and jitter (Retrier), retry budgets that prevent retry storms (Budget),
+// per-endpoint circuit breakers (Breaker), and a deterministic
+// fault-injection transport for chaos testing (ChaosTransport).
+//
+// The paper's Sections 4.4-4.5 place query processing across many
+// independently operated nodes, where slow, flaky, and dead hosts are the
+// norm. These primitives give every network caller the same vocabulary for
+// coping: classify the failure, retry the transient ones under a budget,
+// stop hammering endpoints that are down, and bound every wait with a
+// context deadline.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+)
+
+// StatusError reports an HTTP response that arrived intact but carried a
+// non-success status. Keeping the code lets the retry classifier separate
+// server-side transients (5xx, 429) from caller errors (4xx).
+type StatusError struct {
+	Code   int
+	Status string
+	Body   string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Body != "" {
+		return fmt.Sprintf("%s: %s", e.Status, e.Body)
+	}
+	return e.Status
+}
+
+// Retryable classifies an error as transient (worth retrying) or permanent.
+//
+//   - context cancellation and deadline expiry are permanent: the caller
+//     gave up, retrying works against it;
+//   - HTTP 5xx and 429 are transient, other statuses permanent;
+//   - transport-level failures (connection refused/reset, timeouts,
+//     unexpected EOF) are transient;
+//   - everything else — parse errors, protocol violations — is permanent:
+//     the bytes arrived fine and would arrive the same way again.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500 || se.Code == http.StatusTooManyRequests
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		// A *url.Error that is not a context error wraps a transport
+		// failure: the request never produced a usable response.
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Defaults for Retrier fields left at their zero values.
+const (
+	DefaultBaseDelay = 50 * time.Millisecond
+	DefaultMaxDelay  = 2 * time.Second
+)
+
+// Budget caps how many retries a group of callers may spend, so a
+// fleet-wide degradation produces a bounded burst of extra load instead of
+// a retry storm. Successful first attempts slowly refill the budget.
+type Budget struct {
+	mu     sync.Mutex
+	tenths int // tokens, stored in tenths to keep the slow refill exact
+	max    int
+}
+
+// NewBudget returns a full budget of n retry tokens.
+func NewBudget(n int) *Budget {
+	if n < 0 {
+		n = 0
+	}
+	return &Budget{tenths: 10 * n, max: 10 * n}
+}
+
+// Take consumes one retry token, reporting whether one was available.
+func (b *Budget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tenths < 10 {
+		return false
+	}
+	b.tenths -= 10
+	return true
+}
+
+// Credit refills a tenth of a token, called after a success that needed no
+// retry. The slow refill keeps a recovering system from immediately
+// re-earning a full storm's worth of retries.
+func (b *Budget) Credit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tenths++
+	if b.tenths > b.max {
+		b.tenths = b.max
+	}
+}
+
+// Remaining reports the whole tokens left (for tests and monitoring).
+func (b *Budget) Remaining() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tenths / 10
+}
+
+// Retrier retries transient failures with capped exponential backoff and
+// jitter. The zero value performs exactly one attempt (no retries), so a
+// nil or zero Retrier is always safe to embed.
+type Retrier struct {
+	// MaxAttempts bounds the total number of attempts, including the
+	// first; values <= 1 mean no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles each
+	// further retry. Default DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized, in [0, 1]:
+	// the effective delay is d*(1-Jitter) + rand*d*Jitter. Zero means a
+	// deterministic schedule.
+	Jitter float64
+	// Seed makes the jitter deterministic for tests; 0 seeds from 1.
+	Seed int64
+	// Budget optionally shares retry tokens across several retriers.
+	Budget *Budget
+	// Classify decides whether an error is worth retrying.
+	// Default Retryable.
+	Classify func(error) bool
+	// Sleep waits between attempts; tests inject it to run instantly.
+	// The default honors ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Backoff returns the planned delay before retry number retry (0-based),
+// before jitter. Exported so tests and docs can assert the schedule.
+func (r *Retrier) Backoff(retry int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	cap := r.MaxDelay
+	if cap <= 0 {
+		cap = DefaultMaxDelay
+	}
+	d := base
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// jittered applies the configured jitter to a planned delay.
+func (r *Retrier) jittered(d time.Duration) time.Duration {
+	if r.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	j := r.Jitter
+	if j > 1 {
+		j = 1
+	}
+	r.mu.Lock()
+	if r.rng == nil {
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		r.rng = rand.New(rand.NewSource(seed))
+	}
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	fixed := float64(d) * (1 - j)
+	return time.Duration(fixed + f*float64(d)*j)
+}
+
+func (r *Retrier) sleep(ctx context.Context, d time.Duration) error {
+	if r.Sleep != nil {
+		return r.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op, retrying transient failures until an attempt succeeds, the
+// attempt limit or retry budget is exhausted, or ctx expires. It returns
+// the last attempt's error.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if r == nil {
+		return op(ctx)
+	}
+	classify := r.Classify
+	if classify == nil {
+		classify = Retryable
+	}
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		err = op(ctx)
+		if err == nil {
+			if attempt == 0 && r.Budget != nil {
+				r.Budget.Credit()
+			}
+			return nil
+		}
+		if attempt == attempts-1 || !classify(err) {
+			return err
+		}
+		if r.Budget != nil && !r.Budget.Take() {
+			return err
+		}
+		if serr := r.sleep(ctx, r.jittered(r.Backoff(attempt))); serr != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	r := &Retrier{BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second, // capped
+	}
+	for i, w := range want {
+		if got := r.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	r := &Retrier{}
+	if got := r.Backoff(0); got != DefaultBaseDelay {
+		t.Errorf("default base = %v", got)
+	}
+	if got := r.Backoff(100); got != DefaultMaxDelay {
+		t.Errorf("default cap = %v", got)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	d := 100 * time.Millisecond
+	a := &Retrier{Jitter: 0.5, Seed: 7}
+	b := &Retrier{Jitter: 0.5, Seed: 7}
+	for i := 0; i < 50; i++ {
+		ja, jb := a.jittered(d), b.jittered(d)
+		if ja != jb {
+			t.Fatalf("same seed diverged: %v vs %v", ja, jb)
+		}
+		if ja < d/2 || ja > d {
+			t.Fatalf("jittered delay %v outside [%v, %v]", ja, d/2, d)
+		}
+	}
+}
+
+// sleepRecorder replaces real sleeping and records the requested delays.
+func sleepRecorder(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	var delays []time.Duration
+	r := &Retrier{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return &StatusError{Code: 503, Status: "503 Service Unavailable"}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("delays = %v, want %v", delays, want)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	var delays []time.Duration
+	r := &Retrier{MaxAttempts: 5, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	perm := &StatusError{Code: 404, Status: "404 Not Found"}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 || len(delays) != 0 {
+		t.Errorf("err=%v calls=%d delays=%v", err, calls, delays)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	r := &Retrier{MaxAttempts: 3, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return io.ErrUnexpectedEOF
+	})
+	if !errors.Is(err, io.ErrUnexpectedEOF) || calls != 3 || len(delays) != 2 {
+		t.Errorf("err=%v calls=%d delays=%v", err, calls, delays)
+	}
+}
+
+func TestDoHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Retrier{MaxAttempts: 10}
+	calls := 0
+	err := r.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return io.ErrUnexpectedEOF
+	})
+	if err == nil || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestNilRetrierRunsOnce(t *testing.T) {
+	var r *Retrier
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return io.ErrUnexpectedEOF
+	})
+	if !errors.Is(err, io.ErrUnexpectedEOF) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBudgetLimitsRetries(t *testing.T) {
+	var delays []time.Duration
+	budget := NewBudget(3)
+	r := &Retrier{MaxAttempts: 10, Budget: budget, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return io.ErrUnexpectedEOF
+	})
+	// 1 first attempt + 3 budgeted retries.
+	if err == nil || calls != 4 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+	if budget.Remaining() != 0 {
+		t.Errorf("remaining = %d", budget.Remaining())
+	}
+	// Ten clean first attempts credit one whole token back.
+	for i := 0; i < 10; i++ {
+		if err := r.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if budget.Remaining() != 1 {
+		t.Errorf("after credits remaining = %d", budget.Remaining())
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), false},
+		{&StatusError{Code: 500, Status: "500"}, true},
+		{&StatusError{Code: 503, Status: "503"}, true},
+		{&StatusError{Code: http.StatusTooManyRequests, Status: "429"}, true},
+		{&StatusError{Code: 404, Status: "404"}, false},
+		{&StatusError{Code: 400, Status: "400"}, false},
+		{io.ErrUnexpectedEOF, true},
+		{io.EOF, true},
+		{errors.New("gdm: parse error"), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
