@@ -10,6 +10,9 @@
 //	genomegen [-seed N] [-out DIR] replication [-genes N]
 //	genomegen [-seed N] [-out DIR] fig2
 //	genomegen [-out DIR] import [-name DS] FILE.bed FILE.narrowPeak ...
+//
+// -metrics dumps the process metrics registry (datasets and regions written)
+// in Prometheus text format after generating.
 package main
 
 import (
@@ -20,7 +23,17 @@ import (
 
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
+	"genogo/internal/obs"
 	"genogo/internal/synth"
+)
+
+// Generation counters: one-shot runs dump them with -metrics, and any future
+// long-running generation service inherits them on /metrics for free.
+var (
+	metricDatasets = obs.Default().CounterVec("genogo_genomegen_datasets_total",
+		"Datasets written by genomegen, by subcommand.", "kind")
+	metricRegions = obs.Default().Counter("genogo_genomegen_regions_written_total",
+		"Regions written across all generated datasets.")
 )
 
 func main() {
@@ -34,6 +47,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("genomegen", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("out", "data", "output directory")
+	dumpMetrics := fs.Bool("metrics", false, "dump the metrics registry in Prometheus text format after generating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,8 +128,16 @@ func run(args []string) error {
 		if err := formats.WriteDataset(dir, ds); err != nil {
 			return err
 		}
+		metricDatasets.With(sub).Inc()
+		metricRegions.Add(int64(ds.NumRegions()))
 		fmt.Printf("%s: %d samples, %d regions -> %s\n",
 			ds.Name, len(ds.Samples), ds.NumRegions(), dir)
+	}
+	if *dumpMetrics {
+		fmt.Println("-- metrics --")
+		if err := obs.Default().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -6,7 +6,11 @@
 //
 //	genomenet host  -data DIR [-addr :8950]
 //	genomenet crawl -hosts URL1,URL2 [-bodies N] [-query TERM] [-ontological]
-//	                [-timeout 2m] [-retries 3] [-skip-failed]
+//	                [-timeout 2m] [-retries 3] [-skip-failed] [-metrics]
+//
+// Host mode also serves /metrics (Prometheus text) and /debug/pprof on its
+// listener; crawl mode can dump the same registry to stdout with -metrics,
+// exposing crawler counters (pages crawled, hosts skipped) from one-shot runs.
 //
 // Crawling the open internet means crawling hosts that hang, die mid-crawl,
 // or serve garbage: -timeout bounds the whole crawl, -retries absorbs
@@ -27,6 +31,7 @@ import (
 
 	"genogo/internal/formats"
 	"genogo/internal/genomenet"
+	"genogo/internal/obs"
 	"genogo/internal/ontology"
 	"genogo/internal/resilience"
 )
@@ -92,7 +97,10 @@ func setupHost(args []string, out io.Writer) (http.Handler, string, error) {
 		return nil, "", fmt.Errorf("no datasets found under %s", *dataDir)
 	}
 	fmt.Fprintf(out, "host %s listening on %s\n", *name, *addr)
-	return h.Handler(), *addr, nil
+	mux := http.NewServeMux()
+	mux.Handle("/", h.Handler())
+	obs.Mount(mux, obs.Default())
+	return mux, *addr, nil
 }
 
 func runCrawl(args []string, out io.Writer) error {
@@ -104,6 +112,7 @@ func runCrawl(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall crawl deadline (0 disables)")
 	retries := fs.Int("retries", 3, "attempts per request against transient faults (1 disables retrying)")
 	skipFailed := fs.Bool("skip-failed", false, "index reachable hosts and report failed ones instead of aborting")
+	dumpMetrics := fs.Bool("metrics", false, "dump the metrics registry in Prometheus text format after the crawl")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +137,12 @@ func runCrawl(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "crawled %d hosts, indexed %d datasets\n", len(urls), svc.NumIndexed())
 	for _, fh := range svc.LastCrawl.FailedHosts {
 		fmt.Fprintf(out, "  failed host: %s\n", strings.ReplaceAll(fh, "\t", ": "))
+	}
+	if *dumpMetrics {
+		fmt.Fprintln(out, "-- metrics --")
+		if err := obs.Default().WriteText(out); err != nil {
+			return err
+		}
 	}
 	if *query == "" {
 		return nil

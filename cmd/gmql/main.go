@@ -4,11 +4,16 @@
 // Usage:
 //
 //	gmql -data DIR [-out DIR] [-mode stream|batch|serial] [-workers N]
-//	     [-binwidth N] [-no-optimizer] [-explain VAR] SCRIPT.gmql
+//	     [-binwidth N] [-no-optimizer] [-explain VAR] [-profile] SCRIPT.gmql
 //
 // Every subdirectory of -data holding a schema.txt is loaded as a dataset
 // named after the subdirectory. Results of MATERIALIZE statements are
 // written under -out in the native layout.
+//
+// -explain prints the logical plan of one variable without executing.
+// -profile executes normally and additionally prints an EXPLAIN ANALYZE
+// style span tree per materialized variable: one line per operator with
+// wall time, worker count and sample/region flow.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
 	"genogo/internal/gmql"
+	"genogo/internal/obs"
 )
 
 func main() {
@@ -41,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	binWidth := fs.Int64("binwidth", 0, "genometric bin width (0 = per-chromosome sweeps)")
 	noOpt := fs.Bool("no-optimizer", false, "disable the logical optimizer")
 	explain := fs.String("explain", "", "print the plan of VAR instead of executing")
+	profile := fs.Bool("profile", false, "print an EXPLAIN ANALYZE span tree per materialized variable")
 	format := fs.String("format", "native", "result format: native (GDM layout) or bed (one BED6 file per sample)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,11 +79,19 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	start := time.Now()
-	results, err := runner.Materialize(prog)
+	var (
+		results []gmql.Result
+		spans   []*obs.Span
+	)
+	if *profile {
+		results, spans, err = runner.MaterializeProfiled(prog)
+	} else {
+		results, err = runner.Materialize(prog)
+	}
 	if err != nil {
 		return err
 	}
-	for _, r := range results {
+	for i, r := range results {
 		dir := filepath.Join(*outDir, r.Target)
 		switch *format {
 		case "native":
@@ -92,6 +107,9 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%s: %d samples, %d regions -> %s\n",
 			r.Var, len(r.Dataset.Samples), r.Dataset.NumRegions(), dir)
+		if *profile && i < len(spans) && spans[i] != nil {
+			fmt.Fprintf(out, "profile of %s:\n%s", r.Var, spans[i].Render())
+		}
 	}
 	fmt.Fprintf(out, "done in %v (%s backend, %d workers)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Mode, cfg.Workers)

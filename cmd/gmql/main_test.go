@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -109,6 +110,38 @@ func TestCLIExplain(t *testing.T) {
 	for _, frag := range []string{"MAP", "SELECT", "SCAN ENCODE"} {
 		if !strings.Contains(out.String(), frag) {
 			t.Errorf("explain missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestMetricsCLIProfile runs the CLI with -profile and checks the rendered
+// span tree is internally consistent: the root operator's out= counts equal
+// the materialized result written to disk.
+func TestMetricsCLIProfile(t *testing.T) {
+	data := writeRepo(t)
+	outDir := filepath.Join(t.TempDir(), "results")
+	script := writeScript(t, cliScript)
+	var out bytes.Buffer
+	if err := run([]string{"-data", data, "-out", outDir, "-mode", "serial", "-profile", script}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "profile of RESULT:") {
+		t.Fatalf("no profile section:\n%s", text)
+	}
+	ds, err := formats.ReadDataset(filepath.Join(outDir, "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootOut := fmt.Sprintf("out=%ds/%dr", len(ds.Samples), ds.NumRegions())
+	profile := text[strings.Index(text, "profile of RESULT:"):]
+	rootLine, _, _ := strings.Cut(profile[strings.Index(profile, "\n")+1:], "\n")
+	if !strings.Contains(rootLine, "MAP") || !strings.Contains(rootLine, rootOut) {
+		t.Errorf("root span %q does not carry %q", rootLine, rootOut)
+	}
+	for _, frag := range []string{"SELECT", "SCAN ENCODE", "SCAN ANNOTATIONS", "[serial]", "time="} {
+		if !strings.Contains(profile, frag) {
+			t.Errorf("profile missing %q:\n%s", frag, profile)
 		}
 	}
 }

@@ -7,16 +7,24 @@
 //
 //	gmqld -data DIR [-addr :8844] [-name node1] [-mode stream]
 //	      [-read-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
+//	      [-metrics-addr ADDR] [-slow-query 1s]
 //
 // The timeout flags bound how long one HTTP exchange may hold a connection,
 // so a stalled or malicious peer cannot pin server resources forever. The
 // write timeout is the effective ceiling on query execution time per request.
+//
+// Observability: /metrics (Prometheus text format) and /debug/pprof are
+// mounted on the main listener by default; -metrics-addr moves them to a
+// separate listener so operational endpoints need not be exposed to peers.
+// -slow-query logs any query slower than the given threshold, with its
+// hottest operators inlined.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -25,6 +33,7 @@ import (
 	"genogo/internal/engine"
 	"genogo/internal/federation"
 	"genogo/internal/formats"
+	"genogo/internal/obs"
 )
 
 func main() {
@@ -35,16 +44,25 @@ func main() {
 }
 
 func run(args []string) error {
-	srv, err := setup(args, os.Stdout)
+	srv, metrics, err := setup(args, os.Stdout)
 	if err != nil {
 		return err
+	}
+	if metrics != nil {
+		go func() {
+			if err := metrics.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				slog.Error("metrics listener failed", "err", err)
+			}
+		}()
 	}
 	return srv.ListenAndServe()
 }
 
 // setup parses flags and builds the node's http.Server without binding a
-// socket, so tests can drive srv.Handler through httptest.
-func setup(args []string, out io.Writer) (*http.Server, error) {
+// socket, so tests can drive srv.Handler through httptest. The second server
+// is non-nil only when -metrics-addr asks for a separate operational
+// listener; otherwise /metrics and /debug/pprof share the main handler.
+func setup(args []string, out io.Writer) (*http.Server, *http.Server, error) {
 	fs := flag.NewFlagSet("gmqld", flag.ContinueOnError)
 	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
 	addr := fs.String("addr", ":8844", "listen address")
@@ -53,8 +71,10 @@ func setup(args []string, out io.Writer) (*http.Server, error) {
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read one request (0 disables)")
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "max time to execute and write one response (0 disables)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "separate listen address for /metrics and /debug/pprof (default: serve them on -addr)")
+	slowQuery := fs.Duration("slow-query", 0, "log queries slower than this threshold with their hottest operators (0 disables)")
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg := engine.DefaultConfig()
 	switch *mode {
@@ -65,13 +85,16 @@ func setup(args []string, out io.Writer) (*http.Server, error) {
 	case "stream":
 		cfg.Mode = engine.ModeStream
 	default:
-		return nil, fmt.Errorf("unknown mode %q", *mode)
+		return nil, nil, fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	srv := federation.NewServer(*name, cfg)
+	if *slowQuery > 0 {
+		srv.SlowLog = &obs.SlowQueryLog{Threshold: *slowQuery, Logger: slog.Default()}
+	}
 	entries, err := os.ReadDir(*dataDir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	loaded := 0
 	for _, e := range entries {
@@ -84,21 +107,33 @@ func setup(args []string, out io.Writer) (*http.Server, error) {
 		}
 		ds, err := formats.ReadDataset(sub)
 		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", sub, err)
+			return nil, nil, fmt.Errorf("loading %s: %w", sub, err)
 		}
 		srv.AddDataset(ds)
 		fmt.Fprintf(out, "serving %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
 		loaded++
 	}
 	if loaded == 0 {
-		return nil, fmt.Errorf("no datasets found under %s", *dataDir)
+		return nil, nil, fmt.Errorf("no datasets found under %s", *dataDir)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	var metricsSrv *http.Server
+	if *metricsAddr == "" {
+		obs.Mount(mux, obs.Default())
+	} else {
+		mmux := http.NewServeMux()
+		obs.Mount(mmux, obs.Default())
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
+		fmt.Fprintf(out, "metrics on %s\n", *metricsAddr)
 	}
 	fmt.Fprintf(out, "node %s listening on %s (%s backend)\n", *name, *addr, cfg.Mode)
 	return &http.Server{
 		Addr:         *addr,
-		Handler:      srv.Handler(),
+		Handler:      mux,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
-	}, nil
+	}, metricsSrv, nil
 }

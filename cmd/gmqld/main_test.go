@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -32,10 +34,13 @@ func writeRepo(t *testing.T) string {
 func TestSetupServesFederationProtocol(t *testing.T) {
 	dir := writeRepo(t)
 	var out bytes.Buffer
-	srv, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial",
+	srv, metrics, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial",
 		"-read-timeout", "10s", "-write-timeout", "20s"}, &out)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if metrics != nil {
+		t.Errorf("no -metrics-addr given, but a separate metrics server was built")
 	}
 	if srv.Addr != ":9999" {
 		t.Errorf("addr = %q", srv.Addr)
@@ -71,13 +76,92 @@ func TestSetupServesFederationProtocol(t *testing.T) {
 
 func TestSetupErrors(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
+	if _, _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
 		t.Error("empty data dir accepted")
 	}
-	if _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
+	if _, _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+	if _, _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
 		t.Error("missing dir accepted")
 	}
+}
+
+// TestMetricsEndpointOnMainAddr checks the default wiring: /metrics shares
+// the federation listener and advertises the acceptance-required families,
+// and a query moves the node-query counter. With -metrics-addr the
+// operational endpoints move to the second server and vanish from the main
+// handler.
+func TestMetricsEndpointOnMainAddr(t *testing.T) {
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	srv, metrics, err := setup([]string{"-data", dir, "-mode", "serial", "-slow-query", "1ns"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics != nil {
+		t.Fatal("unexpected separate metrics server")
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	c := federation.NewClient(ts.URL)
+	if _, err := c.Execute(context.Background(),
+		`X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X;`, "X"); err != nil {
+		t.Fatal(err)
+	}
+	body := fetchMetrics(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"genogo_engine_queries_total",
+		"genogo_resilience_breaker_transitions_total",
+		"genogo_federation_member_latency_seconds",
+		"genogo_federation_node_queries_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	srv2, metrics2, err := setup([]string{"-data", dir, "-metrics-addr", ":9105"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics2 == nil || metrics2.Addr != ":9105" {
+		t.Fatalf("metrics server = %+v, want listener on :9105", metrics2)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("main handler still serves /metrics despite -metrics-addr")
+	}
+	mts := httptest.NewServer(metrics2.Handler)
+	defer mts.Close()
+	if body := fetchMetrics(t, mts.URL+"/metrics"); !strings.Contains(body, "genogo_engine_queries_total") {
+		t.Error("separate metrics handler missing engine families")
+	}
+}
+
+func fetchMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

@@ -77,7 +77,7 @@ func DefaultConfig() Config {
 	return Config{Mode: ModeStream, Workers: runtime.GOMAXPROCS(0), MetaFirst: true}
 }
 
-// workers resolves the effective worker count.
+// workers resolves the configured worker count.
 func (c Config) workers() int {
 	if c.Mode == ModeSerial {
 		return 1
@@ -86,6 +86,22 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// effectiveWorkers is the parallelism the pool can actually use for n work
+// items: never more goroutines than items, and one when the configuration or
+// the input is serial. forEach spawns exactly this many workers, and query
+// spans record it, so profiles show the realized — not the configured —
+// fan-out.
+func (c Config) effectiveWorkers(n int) int {
+	w := c.workers()
+	if w <= 1 || n <= 1 {
+		return 1
+	}
+	if w > n {
+		return n
+	}
+	return w
 }
 
 // workerPanic carries a panic out of a worker goroutine, preserving the
@@ -105,16 +121,15 @@ type workerPanic struct {
 // where Session.Eval converts it into a query error: one bad sample fails
 // the query, not the server.
 func (c Config) forEach(n int, fn func(i int)) {
-	w := c.workers()
-	if w <= 1 || n <= 1 {
+	w := c.effectiveWorkers(n)
+	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	if w > n {
-		w = n
-	}
+	metricWorkersBusy.Add(int64(w))
+	defer metricWorkersBusy.Add(-int64(w))
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var trapped *workerPanic

@@ -5,9 +5,11 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"genogo/internal/expr"
 	"genogo/internal/gdm"
+	"genogo/internal/obs"
 )
 
 // Catalog resolves dataset names for Scan nodes.
@@ -67,7 +69,28 @@ func (s *Session) Eval(plan Node) (ds *gdm.Dataset, err error) {
 			ds, err = nil, recoveredError(r)
 		}
 	}()
-	return s.e.eval(plan)
+	metricQueries.With(s.e.cfg.Mode.String()).Inc()
+	return s.e.eval(plan, nil)
+}
+
+// EvalProfiled executes one plan like Eval while recording a span tree that
+// mirrors the plan: one span per node visited, with wall time, data volumes,
+// effective parallelism, fusion-chain membership and cache hits. The root
+// span renders as an EXPLAIN ANALYZE-style profile (obs.Span.Render) and
+// marshals to JSON for the federated path.
+func (s *Session) EvalProfiled(plan Node) (ds *gdm.Dataset, root *obs.Span, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ds, root, err = nil, nil, recoveredError(r)
+		}
+	}()
+	metricQueries.With(s.e.cfg.Mode.String()).Inc()
+	sp := newSpan(plan, s.e.cfg)
+	ds, err = s.e.eval(plan, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, sp, nil
 }
 
 // recoveredError renders a recovered panic value as a query error.
@@ -88,26 +111,50 @@ type evaluator struct {
 	cache map[Node]*gdm.Dataset
 }
 
-func (e *evaluator) eval(n Node) (*gdm.Dataset, error) {
+// eval evaluates one node into sp, its (possibly nil) span. A nil span means
+// the whole subtree runs untraced — the Eval fast path pays one nil check per
+// node and nothing else.
+func (e *evaluator) eval(n Node, sp *obs.Span) (*gdm.Dataset, error) {
+	start := time.Now()
 	e.mu.Lock()
 	if ds, ok := e.cache[n]; ok {
 		e.mu.Unlock()
+		metricCacheHits.Inc()
+		if sp != nil {
+			sp.CacheHit = true
+			fillSpanOutput(sp, ds)
+			sp.Finish(start)
+		}
 		return ds, nil
 	}
 	e.mu.Unlock()
-	ds, err := e.evalUncached(n)
+	ds, err := e.evalUncached(n, sp)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	e.cache[n] = ds
 	e.mu.Unlock()
+	if sp != nil {
+		finishSpan(sp, e.cfg, ds, start)
+	}
 	return ds, nil
 }
 
-func (e *evaluator) evalUncached(n Node) (*gdm.Dataset, error) {
+// evalChild evaluates an input node, creating and attaching its span when the
+// parent is traced.
+func (e *evaluator) evalChild(n Node, parent *obs.Span) (*gdm.Dataset, error) {
+	var sp *obs.Span
+	if parent != nil {
+		sp = newSpan(n, e.cfg)
+		parent.AddChild(sp)
+	}
+	return e.eval(n, sp)
+}
+
+func (e *evaluator) evalUncached(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 	if e.cfg.Mode == ModeStream && !e.cfg.DisableFusion {
-		if ds, ok, err := e.tryFusedChain(n); ok || err != nil {
+		if ds, ok, err := e.tryFusedChain(n, sp); ok || err != nil {
 			return ds, err
 		}
 	}
@@ -115,71 +162,71 @@ func (e *evaluator) evalUncached(n Node) (*gdm.Dataset, error) {
 	case *Scan:
 		return e.cat.Dataset(op.Dataset)
 	case *SelectOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
-		meta, err := e.resolveSelectMeta(op)
+		meta, err := e.resolveSelectMeta(op, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Select(e.cfg, in, meta, op.Region)
 	case *ProjectOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Project(e.cfg, in, op.Args)
 	case *ExtendOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Extend(e.cfg, in, op.Aggs)
 	case *MergeOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Merge(e.cfg, in, op.GroupBy)
 	case *GroupOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Group(e.cfg, in, op.Args)
 	case *OrderOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Order(e.cfg, in, op.Args)
 	case *CoverOp:
-		in, err := e.eval(op.Input)
+		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Cover(e.cfg, in, op.Args)
 	case *UnionOp:
-		l, r, err := e.evalPair(op.Left, op.Right)
+		l, r, err := e.evalPair(op.Left, op.Right, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Union(e.cfg, l, r)
 	case *DifferenceOp:
-		l, r, err := e.evalPair(op.Left, op.Right)
+		l, r, err := e.evalPair(op.Left, op.Right, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Difference(e.cfg, l, r, op.Args)
 	case *MapOp:
-		l, r, err := e.evalPair(op.Ref, op.Exp)
+		l, r, err := e.evalPair(op.Ref, op.Exp, sp)
 		if err != nil {
 			return nil, err
 		}
 		return Map(e.cfg, l, r, op.Args)
 	case *JoinOp:
-		l, r, err := e.evalPair(op.Left, op.Right)
+		l, r, err := e.evalPair(op.Left, op.Right, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -191,13 +238,22 @@ func (e *evaluator) evalUncached(n Node) (*gdm.Dataset, error) {
 
 // evalPair evaluates the two inputs of a binary operator: sequentially for
 // the serial and batch backends, concurrently for the stream backend.
-func (e *evaluator) evalPair(left, right Node) (*gdm.Dataset, *gdm.Dataset, error) {
+func (e *evaluator) evalPair(left, right Node, parent *obs.Span) (*gdm.Dataset, *gdm.Dataset, error) {
+	var lsp, rsp *obs.Span
+	if parent != nil {
+		// Both child spans attach before anything runs: the right operand may
+		// execute on another goroutine, and the profile's child order must be
+		// the plan order, not the finish order.
+		lsp, rsp = newSpan(left, e.cfg), newSpan(right, e.cfg)
+		parent.AddChild(lsp)
+		parent.AddChild(rsp)
+	}
 	if e.cfg.Mode != ModeStream {
-		l, err := e.eval(left)
+		l, err := e.eval(left, lsp)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, err := e.eval(right)
+		r, err := e.eval(right, rsp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -216,10 +272,10 @@ func (e *evaluator) evalPair(left, right Node) (*gdm.Dataset, *gdm.Dataset, erro
 				ch <- res{nil, recoveredError(r)}
 			}
 		}()
-		ds, err := e.eval(right)
+		ds, err := e.eval(right, rsp)
 		ch <- res{ds, err}
 	}()
-	l, lerr := e.eval(left)
+	l, lerr := e.eval(left, lsp)
 	rres := <-ch
 	if lerr != nil {
 		return nil, nil, lerr
@@ -233,11 +289,13 @@ func (e *evaluator) evalPair(left, right Node) (*gdm.Dataset, *gdm.Dataset, erro
 // resolveSelectMeta composes a SelectOp's metadata predicate with its
 // semijoin clause: the external dataset is evaluated (cached, like any
 // subplan) and its join-key set becomes an extra metadata filter.
-func (e *evaluator) resolveSelectMeta(op *SelectOp) (expr.MetaPredicate, error) {
+func (e *evaluator) resolveSelectMeta(op *SelectOp, sp *obs.Span) (expr.MetaPredicate, error) {
 	if op.SemiJoin == nil {
 		return op.Meta, nil
 	}
-	ext, err := e.eval(op.SemiJoin.External)
+	// The external dataset is a real input of the SELECT, so its span is a
+	// child of the select's span like any other operand.
+	ext, err := e.evalChild(op.SemiJoin.External, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +352,7 @@ func fusable(n Node) (input Node, ok bool) {
 // into a stage against the flowing schema, and streams each sample through
 // the whole chain in one pass. Returns ok=false when n heads no chain of
 // length >= 2 (single operators gain nothing from fusion).
-func (e *evaluator) tryFusedChain(n Node) (*gdm.Dataset, bool, error) {
+func (e *evaluator) tryFusedChain(n Node, sp *obs.Span) (*gdm.Dataset, bool, error) {
 	var chain []Node // outermost first
 	cur := n
 	for {
@@ -308,7 +366,16 @@ func (e *evaluator) tryFusedChain(n Node) (*gdm.Dataset, bool, error) {
 	if len(chain) < 2 {
 		return nil, false, nil
 	}
-	src, err := e.eval(cur)
+	if sp != nil {
+		// The whole chain executes as one pass, so it profiles as one span:
+		// the head records its members and the chain's source is its child.
+		names := make([]string, len(chain))
+		for i, c := range chain {
+			names[i] = opName(c)
+		}
+		sp.Fused = names
+	}
+	src, err := e.evalChild(cur, sp)
 	if err != nil {
 		return nil, true, err
 	}
@@ -321,7 +388,7 @@ func (e *evaluator) tryFusedChain(n Node) (*gdm.Dataset, bool, error) {
 		switch op := chain[i].(type) {
 		case *SelectOp:
 			var meta expr.MetaPredicate
-			meta, cerr = e.resolveSelectMeta(op)
+			meta, cerr = e.resolveSelectMeta(op, sp)
 			if cerr == nil {
 				st, cerr = compileSelect(e.cfg, schema, meta, op.Region)
 			}

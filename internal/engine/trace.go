@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"genogo/internal/gdm"
+	"genogo/internal/obs"
+)
+
+// Engine metrics, registered against the process-wide registry at package
+// init so any binary importing the engine exports them from /metrics.
+var (
+	metricQueries = obs.Default().CounterVec("genogo_engine_queries_total",
+		"Plans evaluated by Session.Eval, by backend mode.", "mode")
+	metricCacheHits = obs.Default().Counter("genogo_engine_cache_hits_total",
+		"Plan subtrees answered from the session result cache instead of executing.")
+	metricWorkersBusy = obs.Default().Gauge("genogo_engine_workers_busy",
+		"Worker-pool goroutines currently executing operator kernels.")
+)
+
+// opName is the span operator name for a plan node.
+func opName(n Node) string {
+	switch op := n.(type) {
+	case *Scan:
+		return "SCAN"
+	case *SelectOp:
+		return "SELECT"
+	case *ProjectOp:
+		return "PROJECT"
+	case *ExtendOp:
+		return "EXTEND"
+	case *MergeOp:
+		return "MERGE"
+	case *GroupOp:
+		return "GROUP"
+	case *OrderOp:
+		return "ORDER"
+	case *UnionOp:
+		return "UNION"
+	case *DifferenceOp:
+		return "DIFFERENCE"
+	case *MapOp:
+		return "MAP"
+	case *JoinOp:
+		return "JOIN"
+	case *CoverOp:
+		return op.Args.Variant.String()
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// newSpan starts the span for one plan node: operator name, the plan's
+// one-line description, and the backend that will run it.
+func newSpan(n Node, cfg Config) *obs.Span {
+	sp := obs.NewSpan(opName(n))
+	sp.Detail, _, _ = strings.Cut(n.Describe(0), "\n")
+	sp.Mode = cfg.Mode.String()
+	return sp
+}
+
+// fillSpanOutput records the span's output dataset shape.
+func fillSpanOutput(sp *obs.Span, out *gdm.Dataset) {
+	sp.SamplesOut = len(out.Samples)
+	rs := 0
+	for i := range out.Samples {
+		rs += len(out.Samples[i].Regions)
+	}
+	sp.RegionsOut = rs
+}
+
+// finishSpan completes a span once its operator has produced out: the inputs
+// total the children's outputs (every input of an operator is a child span),
+// and Workers is the parallelism the pool could actually use on that input —
+// the realized, not configured, fan-out.
+func finishSpan(sp *obs.Span, cfg Config, out *gdm.Dataset, start time.Time) {
+	sIn, rIn := 0, 0
+	for _, c := range sp.Children {
+		sIn += c.SamplesOut
+		rIn += c.RegionsOut
+	}
+	sp.SamplesIn, sp.RegionsIn = sIn, rIn
+	if sIn > 0 {
+		sp.Workers = cfg.effectiveWorkers(sIn)
+	}
+	fillSpanOutput(sp, out)
+	sp.Finish(start)
+}

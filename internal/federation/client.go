@@ -208,14 +208,25 @@ func (c *Client) Compile(ctx context.Context, script, varName string) (CompileRe
 
 // Execute runs a query remotely; the result stays staged at the node.
 func (c *Client) Execute(ctx context.Context, script, varName string) (QueryResponse, error) {
-	return c.ExecuteWithUserData(ctx, script, varName, nil)
+	return c.execute(ctx, script, varName, nil, false)
+}
+
+// ExecuteProfiled runs a query remotely and asks the node to record and
+// return its execution span tree (QueryResponse.Profile) — remote
+// EXPLAIN ANALYZE.
+func (c *Client) ExecuteProfiled(ctx context.Context, script, varName string) (QueryResponse, error) {
+	return c.execute(ctx, script, varName, nil, true)
 }
 
 // ExecuteWithUserData runs a query remotely, shipping a private user dataset
 // alongside it. The dataset participates in this query only; the node never
 // lists or stores it (Section 4.3's privacy-protected user input samples).
 func (c *Client) ExecuteWithUserData(ctx context.Context, script, varName string, user *gdm.Dataset) (QueryResponse, error) {
-	req := QueryRequest{Script: script, Var: varName}
+	return c.execute(ctx, script, varName, user, false)
+}
+
+func (c *Client) execute(ctx context.Context, script, varName string, user *gdm.Dataset, profile bool) (QueryResponse, error) {
+	req := QueryRequest{Script: script, Var: varName, Profile: profile}
 	if user != nil {
 		var buf bytes.Buffer
 		if err := formats.EncodeDataset(&buf, user); err != nil {
@@ -381,7 +392,14 @@ func (f *Federator) BytesMoved() int64 {
 // Whatever happens after staging succeeds — fetch errors, deadline expiry —
 // the staged result is released, so failures never leak the node's limited
 // staging slots.
-func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize int) (*gdm.Dataset, *NodeFailure) {
+func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize int) (ds *gdm.Dataset, fail *NodeFailure) {
+	start := time.Now()
+	defer func() {
+		metricMemberLatency.With(c.BaseURL).Observe(time.Since(start).Seconds())
+		if fail != nil {
+			metricMemberFailures.With(fail.Stage).Inc()
+		}
+	}()
 	qr, err := c.Execute(ctx, script, varName)
 	if err != nil {
 		return nil, &NodeFailure{Node: c.BaseURL, Stage: "execute", Err: err}
@@ -400,7 +418,7 @@ func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize
 			_ = c.Release(rctx, qr.ResultID)
 		}()
 	}
-	ds, err := c.FetchAll(ctx, qr.ResultID, chunkSize)
+	ds, err = c.FetchAll(ctx, qr.ResultID, chunkSize)
 	if err != nil {
 		release()
 		return nil, &NodeFailure{Node: c.BaseURL, Stage: "fetch", Err: err}
@@ -468,6 +486,7 @@ func (f *Federator) Query(ctx context.Context, script, varName string, chunkSize
 	if report == nil {
 		return merged, nil, nil
 	}
+	metricPartialFailures.Inc()
 	if !f.Policy.AllowPartial {
 		return nil, report, fmt.Errorf("federated query aborted: %w", report)
 	}

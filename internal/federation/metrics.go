@@ -1,0 +1,20 @@
+package federation
+
+import "genogo/internal/obs"
+
+// Federation metrics, registered against the process-wide registry at package
+// init. Registration alone makes the families visible on /metrics (with HELP
+// and TYPE lines), so a node that has not served a federated query yet still
+// advertises what it can report.
+var (
+	metricMemberLatency = obs.Default().HistogramVec("genogo_federation_member_latency_seconds",
+		"Wall time of one member's execute+fetch leg of a federated query.", nil, "member")
+	metricMemberFailures = obs.Default().CounterVec("genogo_federation_member_failures_total",
+		"Member failures during federated queries, by stage.", "stage")
+	metricPartialFailures = obs.Default().Counter("genogo_federation_partial_failures_total",
+		"Federated queries that ended with at least one member missing.")
+	metricNodeQueries = obs.Default().Counter("genogo_federation_node_queries_total",
+		"Queries executed by this node on behalf of remote requesters.")
+	metricStagedResults = obs.Default().Gauge("genogo_federation_staged_results",
+		"Results currently held in this node's staging area.")
+)

@@ -1,0 +1,131 @@
+package federation
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"genogo/internal/obs"
+	"genogo/internal/resilience"
+)
+
+// TestMetricsBreakerTransitions drives a breaker-gated client against a node
+// behind a fully faulty ChaosTransport and checks the transition counter
+// records the closed→open trip (and the half-open probe cycle after the
+// cooldown), plus the retry and chaos-injection counters moving. Deltas only:
+// the registry is process-global and the CI job runs this with -count=2.
+func TestMetricsBreakerTransitions(t *testing.T) {
+	_, ts := chaosNode(t, 41, 3)
+	chaos := &resilience.ChaosTransport{Seed: 7, DropRate: 1}
+	br := &resilience.Breaker{FailureThreshold: 2, Cooldown: 0} // default 5s cooldown
+	c := chaosClient(ts.URL, chaos, 3)
+	c.Breaker = br
+
+	transitionsOpen := obs.Default().CounterVec("genogo_resilience_breaker_transitions_total",
+		"Circuit-breaker state transitions, by destination state.", "to").With("open")
+	retries := obs.Default().Counter("genogo_resilience_retries_total",
+		"Retry attempts performed after a failed first attempt.")
+	injections := obs.Default().Counter("genogo_resilience_chaos_injections_total",
+		"Faults injected by ChaosTransport.")
+	openBefore := transitionsOpen.Value()
+	retriesBefore := retries.Value()
+	injBefore := injections.Value()
+
+	_, err := c.Execute(context.Background(), chaosScript, "X")
+	if err == nil {
+		t.Fatal("expected failure against a fully faulty transport")
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state = %s, want open", br.State())
+	}
+	if d := transitionsOpen.Value() - openBefore; d != 1 {
+		t.Errorf("open transitions delta = %d, want 1", d)
+	}
+	if d := retries.Value() - retriesBefore; d < 1 {
+		t.Errorf("retries delta = %d, want >= 1", d)
+	}
+	if d := injections.Value() - injBefore; d < 2 {
+		t.Errorf("chaos injections delta = %d, want >= 2", d)
+	}
+	// The open circuit fails fast without touching the transport.
+	injMid := injections.Value()
+	if _, err := c.Execute(context.Background(), chaosScript, "X"); err == nil {
+		t.Fatal("expected fail-fast while open")
+	}
+	if d := injections.Value() - injMid; d != 0 {
+		t.Errorf("open circuit still reached the transport (%d injections)", d)
+	}
+}
+
+// TestMetricsFederationFamilies checks the federation metric families render
+// in the exposition even before any series exists, and that a partial-failure
+// query moves the member-latency and partial-failure metrics.
+func TestMetricsFederationFamilies(t *testing.T) {
+	var b strings.Builder
+	if err := obs.Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"# TYPE genogo_federation_member_latency_seconds histogram",
+		"# TYPE genogo_federation_partial_failures_total counter",
+		"# TYPE genogo_resilience_breaker_transitions_total counter",
+		"# TYPE genogo_engine_queries_total counter",
+	} {
+		if !strings.Contains(b.String(), fam) {
+			t.Errorf("exposition missing %q", fam)
+		}
+	}
+
+	partials := obs.Default().Counter("genogo_federation_partial_failures_total",
+		"Federated queries that ended with at least one member missing.")
+	before := partials.Value()
+	_, ts1 := chaosNode(t, 42, 2)
+	_, ts2 := chaosNode(t, 43, 2)
+	dead := chaosClient(ts2.URL, &resilience.ChaosTransport{Seed: 11, DropRate: 1}, 0)
+	fed := &Federator{
+		Clients: []*Client{NewClient(ts1.URL), dead},
+		Policy:  Policy{AllowPartial: true},
+	}
+	if _, report, err := fed.Query(context.Background(), chaosScript, "X", 4); err != nil || report == nil {
+		t.Fatalf("partial query: report=%v err=%v", report, err)
+	}
+	if d := partials.Value() - before; d != 1 {
+		t.Errorf("partial failures delta = %d, want 1", d)
+	}
+	b.Reset()
+	if err := obs.Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `genogo_federation_member_latency_seconds_count{member="`+ts1.URL+`"}`) {
+		t.Errorf("member latency series for %s missing from exposition", ts1.URL)
+	}
+}
+
+// TestMetricsProfileOverTheWire runs a remote query with profiling and checks
+// the node ships back a span tree consistent with the staged result.
+func TestMetricsProfileOverTheWire(t *testing.T) {
+	_, ts := chaosNode(t, 44, 4)
+	c := NewClient(ts.URL)
+	qr, err := c.ExecuteProfiled(context.Background(), chaosScript, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Profile == nil {
+		t.Fatal("no profile in response")
+	}
+	if qr.Profile.RegionsOut != qr.Regions || qr.Profile.SamplesOut != qr.Samples {
+		t.Errorf("profile out = %ds/%dr, staged result = %ds/%dr",
+			qr.Profile.SamplesOut, qr.Profile.RegionsOut, qr.Samples, qr.Regions)
+	}
+	if qr.Profile.Op == "" || len(qr.Profile.Render()) == 0 {
+		t.Errorf("profile not renderable: %+v", qr.Profile)
+	}
+	// Unprofiled queries must not pay for (or leak) a profile.
+	qr2, err := c.Execute(context.Background(), chaosScript, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr2.Profile != nil {
+		t.Errorf("unprofiled response carries a profile")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
 	"genogo/internal/gmql"
+	"genogo/internal/obs"
 )
 
 // DatasetInfo describes one remote dataset: the metadata a requester needs
@@ -68,6 +69,9 @@ type QueryRequest struct {
 	Script      string `json:"script"`
 	Var         string `json:"var"`
 	UserDataset string `json:"user_dataset,omitempty"` // formats.EncodeDataset output
+	// Profile asks the node to record an execution span tree and return it
+	// in QueryResponse.Profile — EXPLAIN ANALYZE over the federation wire.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // QueryResponse describes a staged result.
@@ -78,6 +82,9 @@ type QueryResponse struct {
 	Samples  int    `json:"samples"`
 	Regions  int    `json:"regions"`
 	Bytes    int64  `json:"bytes"`
+	// Profile is the node-side execution span tree, present only when the
+	// request asked for one.
+	Profile *obs.Span `json:"profile,omitempty"`
 }
 
 // Server is one federation node.
@@ -89,6 +96,11 @@ type Server struct {
 	staged  map[string]*gdm.Dataset
 	nextID  int
 	maxStay int // max staged results kept (limited staging)
+
+	// SlowLog, when non-nil, receives a structured record for every query
+	// this node executes slower than the log's threshold. Set it before
+	// serving.
+	SlowLog *obs.SlowQueryLog
 }
 
 // NewServer builds a node over its local datasets.
@@ -262,8 +274,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		catalog[user.Name] = user
 	}
-	runner := &gmql.Runner{Config: s.cfg, Catalog: catalog}
-	ds, err := runner.Eval(prog, req.Var)
+	runner := &gmql.Runner{Config: s.cfg, Catalog: catalog, SlowLog: s.SlowLog}
+	metricNodeQueries.Inc()
+	var ds *gdm.Dataset
+	var sp *obs.Span
+	if req.Profile {
+		ds, sp, err = runner.EvalProfiled(prog, req.Var)
+	} else {
+		ds, err = runner.Eval(prog, req.Var)
+	}
 	if err != nil {
 		writeJSON(w, http.StatusOK, QueryResponse{Error: err.Error()})
 		return
@@ -278,10 +297,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := fmt.Sprintf("r%06d", s.nextID)
 	s.staged[id] = ds
+	metricStagedResults.Set(int64(len(s.staged)))
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, QueryResponse{
 		OK: true, ResultID: id,
 		Samples: len(ds.Samples), Regions: ds.NumRegions(), Bytes: ds.EstimateBytes(),
+		Profile: sp,
 	})
 }
 
@@ -302,6 +323,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.mu.Lock()
 		delete(s.staged, id)
+		metricStagedResults.Set(int64(len(s.staged)))
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodGet:

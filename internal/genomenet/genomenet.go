@@ -25,8 +25,20 @@ import (
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
 	"genogo/internal/meta"
+	"genogo/internal/obs"
 	"genogo/internal/ontology"
 	"genogo/internal/resilience"
+)
+
+// Crawler metrics, registered against the process-wide registry at package
+// init so the genomenet binary's /metrics reports them.
+var (
+	metricPagesCrawled = obs.Default().Counter("genogo_genomenet_pages_crawled_total",
+		"Pages (manifests, metadata, dataset bodies) fetched successfully by the crawler.")
+	metricHostsSkipped = obs.Default().Counter("genogo_genomenet_hosts_skipped_total",
+		"Hosts a degraded crawl gave up on (SkipFailedHosts).")
+	metricLinksIndexed = obs.Default().Counter("genogo_genomenet_links_indexed_total",
+		"Links (re)fetched and committed to the search index.")
 )
 
 // Crawler resilience defaults.
@@ -287,6 +299,7 @@ func (s *SearchService) Crawl(ctx context.Context, hostURLs []string, opt CrawlO
 		if !opt.SkipFailedHosts {
 			return finish(err)
 		}
+		metricHostsSkipped.Inc()
 		stats.FailedHosts = append(stats.FailedHosts, base+"\t"+err.Error())
 	}
 	return finish(nil)
@@ -342,6 +355,7 @@ func (s *SearchService) crawlHost(ctx context.Context, base string, opt CrawlOpt
 		s.CrawlLog = append(s.CrawlLog, base+"/"+e.Name)
 		s.mu.Unlock()
 		*dirty = true
+		metricLinksIndexed.Inc()
 		stats.Updated++
 	}
 	return nil
@@ -400,6 +414,7 @@ func fetchBytes(ctx context.Context, c *http.Client, opt CrawlOptions, url strin
 	if err := opt.Retrier.Do(ctx, op); err != nil {
 		return nil, err
 	}
+	metricPagesCrawled.Inc()
 	return body, nil
 }
 

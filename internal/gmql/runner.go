@@ -5,6 +5,7 @@ import (
 
 	"genogo/internal/engine"
 	"genogo/internal/gdm"
+	"genogo/internal/obs"
 )
 
 // Result is one materialized output of a script.
@@ -22,6 +23,11 @@ type Runner struct {
 	Catalog engine.Catalog
 	// DisableOptimizer skips the logical rewrite pass (ablation knob).
 	DisableOptimizer bool
+	// SlowLog, when non-nil with a positive threshold, receives a structured
+	// record for every evaluated variable slower than the threshold. Enabling
+	// it turns on profiling for Materialize, since the record inlines the
+	// hottest spans.
+	SlowLog *obs.SlowQueryLog
 }
 
 // NewRunner returns a Runner with the default parallel configuration.
@@ -51,6 +57,21 @@ func (r *Runner) Eval(p *Program, name string) (*gdm.Dataset, error) {
 	return out, nil
 }
 
+// EvalProfiled is Eval plus the recorded span tree of the execution — the
+// EXPLAIN ANALYZE path.
+func (r *Runner) EvalProfiled(p *Program, name string) (*gdm.Dataset, *obs.Span, error) {
+	session := engine.NewSession(r.Config, r.Catalog)
+	ds, sp, err := session.EvalProfiled(r.plan(p, name))
+	if err != nil {
+		return nil, nil, fmt.Errorf("gmql: evaluating %s: %w", name, err)
+	}
+	r.SlowLog.Observe(name, sp)
+	out := ds.Clone()
+	out.Name = name
+	out.SortRegions()
+	return out, sp, nil
+}
+
 // Materialize evaluates every MATERIALIZE statement of the program, sharing
 // the work of common subplans across targets, and returns the results in
 // statement order.
@@ -58,24 +79,48 @@ func (r *Runner) Eval(p *Program, name string) (*gdm.Dataset, error) {
 // Note the laziness of GMQL: variables that no materialized result depends
 // on are never evaluated.
 func (r *Runner) Materialize(p *Program) ([]Result, error) {
+	// Profiling is only paid when the slow-query log needs spans to report.
+	results, _, err := r.materialize(p, r.SlowLog != nil && r.SlowLog.Threshold > 0)
+	return results, err
+}
+
+// MaterializeProfiled is Materialize plus one span tree per materialized
+// target, in statement order.
+func (r *Runner) MaterializeProfiled(p *Program) ([]Result, []*obs.Span, error) {
+	return r.materialize(p, true)
+}
+
+func (r *Runner) materialize(p *Program, profile bool) ([]Result, []*obs.Span, error) {
 	if len(p.Materialized) == 0 {
-		return nil, fmt.Errorf("gmql: program materializes nothing")
+		return nil, nil, fmt.Errorf("gmql: program materializes nothing")
 	}
 	session := engine.NewSession(r.Config, r.Catalog)
 	// Optimizing each target's plan in place keeps node identity for shared
 	// subtrees, so the session cache still deduplicates their execution.
 	results := make([]Result, 0, len(p.Materialized))
+	var spans []*obs.Span
 	for _, m := range p.Materialized {
-		ds, err := session.Eval(r.plan(p, m.Var))
-		if err != nil {
-			return nil, fmt.Errorf("gmql: materializing %s: %w", m.Var, err)
+		var ds *gdm.Dataset
+		var sp *obs.Span
+		var err error
+		if profile {
+			ds, sp, err = session.EvalProfiled(r.plan(p, m.Var))
+		} else {
+			ds, err = session.Eval(r.plan(p, m.Var))
 		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("gmql: materializing %s: %w", m.Var, err)
+		}
+		r.SlowLog.Observe(m.Var, sp)
 		out := ds.Clone()
 		out.Name = m.Target
 		out.SortRegions()
 		results = append(results, Result{Var: m.Var, Target: m.Target, Dataset: out})
+		if profile {
+			spans = append(spans, sp)
+		}
 	}
-	return results, nil
+	return results, spans, nil
 }
 
 // Explain renders the optimized plan of a variable for debugging.

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Registration is idempotent: same handle by name.
+	if r.Counter("test_total", "a counter") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_depth", "a gauge")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestMetricsVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_by_mode_total", "per mode", "mode")
+	v.With("stream").Add(3)
+	v.With("serial").Inc()
+	v.With("stream").Inc()
+	if got := v.With("stream").Value(); got != 4 {
+		t.Errorf("stream = %d, want 4", got)
+	}
+	if got := v.With("serial").Value(); got != 1 {
+		t.Errorf("serial = %d, want 1", got)
+	}
+}
+
+func TestMetricsHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("sum = %g, want 56.05", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestMetricsPrometheusText is the golden test of the exposition encoding:
+// deterministic ordering, HELP/TYPE lines for empty families, label escaping.
+func TestMetricsPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("zz_empty_total", "registered but never observed", "node")
+	c := r.CounterVec("aa_reqs_total", "requests", "method", "code")
+	c.With("GET", "200").Add(7)
+	c.With("POST", "500").Inc()
+	g := r.Gauge("mm_depth", "queue depth")
+	g.Set(-3)
+	r.CounterVec("esc_total", "odd labels", "v").With(`a"b\c`).Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_reqs_total requests
+# TYPE aa_reqs_total counter
+aa_reqs_total{method="GET",code="200"} 7
+aa_reqs_total{method="POST",code="500"} 1
+# HELP esc_total odd labels
+# TYPE esc_total counter
+esc_total{v="a\"b\\c"} 1
+# HELP mm_depth queue depth
+# TYPE mm_depth gauge
+mm_depth -3
+# HELP zz_empty_total registered but never observed
+# TYPE zz_empty_total counter
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestMetricsRegistryConcurrent hammers one registry from many goroutines —
+// the -race CI job runs this with -count=2 to shake out registry races.
+func TestMetricsRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("conc_total", "x").Inc()
+				r.CounterVec("conc_by_g_total", "x", "g").With(string(rune('a' + g%4))).Inc()
+				r.Gauge("conc_gauge", "x").Add(1)
+				r.Histogram("conc_hist", "x", nil).Observe(float64(i) / 100)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "x").Value(); got != 8*500 {
+		t.Errorf("conc_total = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("conc_hist", "x", nil).Count(); got != 8*500 {
+		t.Errorf("hist count = %d, want %d", got, 8*500)
+	}
+	var sum int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		sum += r.CounterVec("conc_by_g_total", "x", "g").With(l).Value()
+	}
+	if sum != 8*500 {
+		t.Errorf("labeled sum = %d, want %d", sum, 8*500)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "x").Add(2)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "h_total 2") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}
+
+func TestMetricsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("dup", "x")
+}

@@ -1,0 +1,54 @@
+// Package obs is the dependency-free observability layer: a metrics
+// registry (atomic counters, gauges and histograms with Prometheus text
+// exposition), a query span model for EXPLAIN ANALYZE-style profiles, and a
+// structured slow-query log.
+//
+// The paper's Section 4 vision — parallel GMQL execution, federated query
+// processing with size estimates, an Internet of Genomes — rests on being
+// able to see where a query spends its time: which operator, which backend,
+// which node. Every networked subsystem (engine, resilience, federation,
+// genomenet) registers its metrics against the Default registry at package
+// init, so any binary that imports them can export the whole system's state
+// from one /metrics endpoint.
+//
+// The package deliberately has no third-party dependencies: metric handles
+// are plain atomics, the exposition format is written by hand, and profiling
+// piggybacks on the evaluator's existing recursion.
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// defaultRegistry is the process-wide registry every package-level metric
+// registers against.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide metrics registry.
+func Default() *Registry { return defaultRegistry }
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Mount registers the observability endpoints on a mux: /metrics serving the
+// registry, plus the /debug/pprof profiling handlers. Every serving binary
+// (gmqld, genomenet host) calls this so operators get engine profiles and
+// runtime profiles from the same port the service answers on.
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// SlowQueryLog emits one structured record per query whose wall time crosses
+// Threshold, with the top-3 spans (by self time) inlined — enough to see
+// which operator ate the time without shipping the whole profile.
+//
+// A nil SlowQueryLog, or one with a non-positive threshold, is disabled and
+// safe to call.
+type SlowQueryLog struct {
+	// Threshold is the minimum query duration worth logging; <= 0 disables.
+	Threshold time.Duration
+	// Logger receives the records; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// logger resolves the destination.
+func (l *SlowQueryLog) logger() *slog.Logger {
+	if l.Logger != nil {
+		return l.Logger
+	}
+	return slog.Default()
+}
+
+// Observe records one finished query. The query string identifies it (a
+// variable name, a script digest); root is its profile, which may be nil
+// (only the duration is logged then).
+func (l *SlowQueryLog) Observe(query string, root *Span) {
+	if l == nil || l.Threshold <= 0 || root == nil || root.Duration() < l.Threshold {
+		return
+	}
+	attrs := []any{
+		slog.String("query", query),
+		slog.Duration("took", root.Duration()),
+		slog.Duration("threshold", l.Threshold),
+		slog.Int("regions_out", root.RegionsOut),
+	}
+	for i, sp := range root.TopBySelf(3) {
+		attrs = append(attrs, slog.Group("span"+string(rune('1'+i)),
+			slog.String("op", sp.Op),
+			slog.String("detail", sp.Detail),
+			slog.Duration("self", time.Duration(sp.SelfNS())),
+			slog.Int("samples_out", sp.SamplesOut),
+			slog.Int("regions_out", sp.RegionsOut),
+		))
+	}
+	l.logger().Warn("slow query", attrs...)
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node of a query profile: the execution record of one plan
+// operator. The engine builds one span per plan node visited (including
+// subtree-cache hits), so the tree mirrors the logical plan and renders as
+// an EXPLAIN ANALYZE-style profile. Spans marshal to JSON for the federated
+// profile-over-the-wire path.
+//
+// Concurrent children (the two inputs of a binary operator under the stream
+// backend) attach through AddChild, which is mutex-guarded; all other fields
+// are written only by the goroutine executing the operator, before the span
+// is published to readers.
+type Span struct {
+	// Op is the operator name (SELECT, MAP, SCAN, ...).
+	Op string `json:"op"`
+	// Detail is the one-line operator description from the logical plan.
+	Detail string `json:"detail,omitempty"`
+	// Mode is the backend that executed the operator.
+	Mode string `json:"mode,omitempty"`
+	// DurationNS is wall time of the operator including its inputs.
+	DurationNS int64 `json:"duration_ns"`
+	// SamplesIn/RegionsIn total the operator's input datasets.
+	SamplesIn int `json:"samples_in"`
+	RegionsIn int `json:"regions_in"`
+	// SamplesOut/RegionsOut describe the operator's output dataset.
+	SamplesOut int `json:"samples_out"`
+	RegionsOut int `json:"regions_out"`
+	// Workers is the effective parallelism the worker pool could use for
+	// this operator (clamped to the input size, 1 for serial execution).
+	Workers int `json:"workers,omitempty"`
+	// Fused lists the operator names of the fusion chain this span heads
+	// (stream backend only); nil for unfused operators.
+	Fused []string `json:"fused,omitempty"`
+	// CacheHit marks a subtree answered from the session's result cache:
+	// no work happened here, the output was shared.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Children are the input operators, in plan order.
+	Children []*Span `json:"children,omitempty"`
+
+	mu sync.Mutex
+}
+
+// NewSpan starts a span for one operator.
+func NewSpan(op string) *Span { return &Span{Op: op} }
+
+// AddChild attaches an input span. Safe for concurrent use — the two sides
+// of a binary operator may run on different goroutines.
+func (s *Span) AddChild(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+}
+
+// Finish records the wall time since start.
+func (s *Span) Finish(start time.Time) {
+	if s == nil {
+		return
+	}
+	s.DurationNS = time.Since(start).Nanoseconds()
+}
+
+// Duration returns the recorded wall time.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurationNS)
+}
+
+// SelfNS is the span's own wall time: duration minus the children's (the
+// time attributable to this operator's kernel rather than its inputs).
+// Concurrent children can make the naive subtraction negative; it clamps
+// at zero.
+func (s *Span) SelfNS() int64 {
+	self := s.DurationNS
+	for _, c := range s.Children {
+		self -= c.DurationNS
+	}
+	if self < 0 {
+		return 0
+	}
+	return self
+}
+
+// ZeroDurations recursively clears every duration — golden tests compare
+// span trees structurally, with timings removed.
+func (s *Span) ZeroDurations() {
+	if s == nil {
+		return
+	}
+	s.DurationNS = 0
+	for _, c := range s.Children {
+		c.ZeroDurations()
+	}
+}
+
+// Flatten returns the span and all descendants, preorder.
+func (s *Span) Flatten() []*Span {
+	if s == nil {
+		return nil
+	}
+	out := []*Span{s}
+	for _, c := range s.Children {
+		out = append(out, c.Flatten()...)
+	}
+	return out
+}
+
+// TopBySelf returns the k spans with the largest self time, descending —
+// the "where did the time go" summary the slow-query log inlines.
+func (s *Span) TopBySelf(k int) []*Span {
+	all := s.Flatten()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].SelfNS() > all[j].SelfNS() })
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Render writes the profile as an indented tree, one operator per line:
+//
+//	MAP peak_count AS COUNT  [stream w=4] time=1.8ms in=41s/8050r out=1s/450r
+//	  SELECT annType == 'promoter'  [stream w=1] time=0.2ms in=1s/50r out=1s/45r
+//	    SCAN ANNOTATIONS  [stream] time=0.0ms out=1s/50r
+//
+// Durations render in rounded milliseconds so zeroed golden profiles are
+// stable across machines.
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, indent int) {
+	if s == nil {
+		return
+	}
+	pad := strings.Repeat("  ", indent)
+	b.WriteString(pad)
+	if s.Detail != "" {
+		b.WriteString(s.Detail)
+	} else {
+		b.WriteString(s.Op)
+	}
+	b.WriteString("  [")
+	b.WriteString(s.Mode)
+	if s.Workers > 1 {
+		fmt.Fprintf(b, " w=%d", s.Workers)
+	}
+	if len(s.Fused) > 0 {
+		fmt.Fprintf(b, " fused=%s", strings.Join(s.Fused, "+"))
+	}
+	if s.CacheHit {
+		b.WriteString(" cached")
+	}
+	b.WriteString("]")
+	fmt.Fprintf(b, " time=%.1fms", float64(s.DurationNS)/1e6)
+	if s.SamplesIn > 0 || s.RegionsIn > 0 {
+		fmt.Fprintf(b, " in=%ds/%dr", s.SamplesIn, s.RegionsIn)
+	}
+	fmt.Fprintf(b, " out=%ds/%dr", s.SamplesOut, s.RegionsOut)
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.render(b, indent+1)
+	}
+}

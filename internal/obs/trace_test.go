@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTextLogger writes slog text records to w with timestamps stripped, so
+// assertions are deterministic.
+func newTextLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
+func buildTree() *Span {
+	scan1 := &Span{Op: "SCAN", Detail: "SCAN ANNOTATIONS", Mode: "stream", DurationNS: 1e6, SamplesOut: 1, RegionsOut: 50}
+	sel := &Span{Op: "SELECT", Detail: "SELECT annType == 'promoter'", Mode: "stream", DurationNS: 3e6, SamplesIn: 1, RegionsIn: 50, SamplesOut: 1, RegionsOut: 45}
+	sel.AddChild(scan1)
+	scan2 := &Span{Op: "SCAN", Detail: "SCAN ENCODE", Mode: "stream", DurationNS: 2e6, SamplesOut: 40, RegionsOut: 8000, CacheHit: true}
+	root := &Span{Op: "MAP", Detail: "MAP peak_count AS COUNT", Mode: "stream", DurationNS: 10e6,
+		SamplesIn: 41, RegionsIn: 8045, SamplesOut: 1, RegionsOut: 45, Workers: 4, Fused: nil}
+	root.AddChild(sel)
+	root.AddChild(scan2)
+	return root
+}
+
+func TestMetricsSpanRender(t *testing.T) {
+	root := buildTree()
+	root.ZeroDurations()
+	want := `MAP peak_count AS COUNT  [stream w=4] time=0.0ms in=41s/8045r out=1s/45r
+  SELECT annType == 'promoter'  [stream] time=0.0ms in=1s/50r out=1s/45r
+    SCAN ANNOTATIONS  [stream] time=0.0ms out=1s/50r
+  SCAN ENCODE  [stream cached] time=0.0ms out=40s/8000r
+`
+	if got := root.Render(); got != want {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestMetricsSpanSelfAndTop(t *testing.T) {
+	root := buildTree()
+	// root self = 10ms - (3ms + 2ms) = 5ms; sel self = 3-1 = 2ms.
+	if got := root.SelfNS(); got != 5e6 {
+		t.Errorf("root self = %d, want 5e6", got)
+	}
+	top := root.TopBySelf(2)
+	if len(top) != 2 || top[0].Op != "MAP" || top[1].Op != "SCAN" && top[1].Op != "SELECT" {
+		t.Errorf("unexpected top spans: %v %v", top[0].Op, top[1].Op)
+	}
+	if top[1].SelfNS() != 2e6 {
+		t.Errorf("second self = %d, want 2e6", top[1].SelfNS())
+	}
+	// Negative self (concurrent children overlap) clamps to zero.
+	neg := &Span{DurationNS: 5}
+	neg.AddChild(&Span{DurationNS: 10})
+	if neg.SelfNS() != 0 {
+		t.Errorf("self = %d, want 0", neg.SelfNS())
+	}
+}
+
+func TestMetricsSpanJSONRoundTrip(t *testing.T) {
+	root := buildTree()
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Render() != root.Render() {
+		t.Errorf("round trip changed the profile:\n%s\nvs\n%s", back.Render(), root.Render())
+	}
+	if !strings.Contains(string(raw), `"cache_hit":true`) {
+		t.Errorf("cache hit not marshaled: %s", raw)
+	}
+}
+
+func TestMetricsSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("UNION")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root.AddChild(NewSpan("SCAN"))
+		}()
+	}
+	wg.Wait()
+	if len(root.Children) != 16 {
+		t.Errorf("children = %d, want 16", len(root.Children))
+	}
+	// nil receiver and nil child are no-ops, not panics.
+	var nilSpan *Span
+	nilSpan.AddChild(NewSpan("X"))
+	root.AddChild(nil)
+	if len(root.Children) != 16 {
+		t.Errorf("nil child was appended")
+	}
+}
+
+func TestMetricsSlowQueryLog(t *testing.T) {
+	var buf strings.Builder
+	log := &SlowQueryLog{Threshold: time.Millisecond, Logger: newTextLogger(&buf)}
+	fast := &Span{Op: "MAP", DurationNS: int64(100 * time.Microsecond)}
+	log.Observe("FAST", fast)
+	if buf.Len() != 0 {
+		t.Errorf("fast query logged: %s", buf.String())
+	}
+	root := buildTree() // 10ms
+	log.Observe("RESULT", root)
+	out := buf.String()
+	for _, want := range []string{"slow query", "query=RESULT", "span1.op=MAP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q:\n%s", want, out)
+		}
+	}
+	// Disabled and nil logs are safe.
+	(&SlowQueryLog{}).Observe("X", root)
+	var nilLog *SlowQueryLog
+	nilLog.Observe("X", root)
+}

@@ -66,6 +66,16 @@ type Breaker struct {
 	probing  bool
 }
 
+// setState moves the circuit, counting the transition by destination state.
+// Callers hold b.mu; a same-state "move" is not a transition.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	metricBreakerTransitions.With(s.String()).Inc()
+}
+
 func (b *Breaker) now() time.Time {
 	if b.Now != nil {
 		return b.Now()
@@ -103,7 +113,7 @@ func (b *Breaker) Allow() error {
 		if b.now().Sub(b.openedAt) < b.cooldown() {
 			return ErrOpen
 		}
-		b.state = HalfOpen
+		b.setState(HalfOpen)
 		b.probing = true
 		return nil
 	default: // HalfOpen
@@ -129,7 +139,7 @@ func (b *Breaker) Report(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
-		b.state = Closed
+		b.setState(Closed)
 		b.failures = 0
 		b.probing = false
 		return
@@ -137,7 +147,7 @@ func (b *Breaker) Report(err error) {
 	if !classify(err) {
 		if b.state == HalfOpen {
 			// A permanent error still proves the endpoint answers.
-			b.state = Closed
+			b.setState(Closed)
 			b.failures = 0
 			b.probing = false
 		}
@@ -145,13 +155,13 @@ func (b *Breaker) Report(err error) {
 	}
 	switch b.state {
 	case HalfOpen:
-		b.state = Open
+		b.setState(Open)
 		b.openedAt = b.now()
 		b.probing = false
 	default:
 		b.failures++
 		if b.failures >= b.threshold() {
-			b.state = Open
+			b.setState(Open)
 			b.openedAt = b.now()
 		}
 	}

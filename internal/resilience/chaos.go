@@ -62,6 +62,7 @@ func (t *ChaosTransport) fault() {
 	t.mu.Lock()
 	t.injected++
 	t.mu.Unlock()
+	metricChaosInjections.Inc()
 }
 
 // RoundTrip implements http.RoundTripper.

@@ -1,0 +1,14 @@
+package resilience
+
+import "genogo/internal/obs"
+
+// Resilience metrics, registered against the process-wide registry at package
+// init so any binary importing the package exports them from /metrics.
+var (
+	metricRetries = obs.Default().Counter("genogo_resilience_retries_total",
+		"Retry attempts performed after a failed first attempt.")
+	metricBreakerTransitions = obs.Default().CounterVec("genogo_resilience_breaker_transitions_total",
+		"Circuit-breaker state transitions, by destination state.", "to")
+	metricChaosInjections = obs.Default().Counter("genogo_resilience_chaos_injections_total",
+		"Faults injected by ChaosTransport.")
+)

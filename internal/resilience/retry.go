@@ -169,6 +169,9 @@ func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) er
 	}
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			metricRetries.Inc()
+		}
 		if cerr := ctx.Err(); cerr != nil {
 			if err != nil {
 				return err
