@@ -4,7 +4,8 @@
 // Usage:
 //
 //	gmql -data DIR [-out DIR] [-mode stream|batch|serial] [-workers N]
-//	     [-binwidth N] [-no-optimizer] [-explain VAR] [-profile] SCRIPT.gmql
+//	     [-binwidth N] [-no-optimizer] [-explain VAR] [-profile]
+//	     [-profile-json] SCRIPT.gmql
 //
 // Every subdirectory of -data holding a schema.txt is loaded as a dataset
 // named after the subdirectory. Results of MATERIALIZE statements are
@@ -13,10 +14,15 @@
 // -explain prints the logical plan of one variable without executing.
 // -profile executes normally and additionally prints an EXPLAIN ANALYZE
 // style span tree per materialized variable: one line per operator with
-// wall time, worker count and sample/region flow.
+// wall time, worker count and sample/region flow. The run is tagged with a
+// QueryID — the same identity the query console and slow log use — printed
+// alongside the profile. -profile-json emits the whole profile (query_id
+// plus the span tree per materialized variable) as JSON on stdout instead,
+// for tools that post-process traces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	noOpt := fs.Bool("no-optimizer", false, "disable the logical optimizer")
 	explain := fs.String("explain", "", "print the plan of VAR instead of executing")
 	profile := fs.Bool("profile", false, "print an EXPLAIN ANALYZE span tree per materialized variable")
+	profileJSON := fs.Bool("profile-json", false, "emit the profile (query_id + span tree per variable) as JSON instead of text")
 	format := fs.String("format", "native", "result format: native (GDM layout) or bed (one BED6 file per sample)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,12 +85,18 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, runner.Explain(prog, *explain))
 		return nil
 	}
+	profiled := *profile || *profileJSON
+	if profiled {
+		// The same identity the query console, slow log and federation
+		// headers use, so a CLI profile correlates with server-side records.
+		runner.QueryID = obs.NewQueryID()
+	}
 	start := time.Now()
 	var (
 		results []gmql.Result
 		spans   []*obs.Span
 	)
-	if *profile {
+	if profiled {
 		results, spans, err = runner.MaterializeProfiled(prog)
 	} else {
 		results, err = runner.Materialize(prog)
@@ -91,6 +104,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *profile && !*profileJSON {
+		fmt.Fprintf(out, "query id: %s\n", runner.QueryID)
+	}
+	type varProfile struct {
+		Var     string    `json:"var"`
+		Target  string    `json:"target"`
+		Profile *obs.Span `json:"profile"`
+	}
+	profiles := make([]varProfile, 0, len(results))
 	for i, r := range results {
 		dir := filepath.Join(*outDir, r.Target)
 		switch *format {
@@ -105,11 +127,27 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
+		var sp *obs.Span
+		if i < len(spans) {
+			sp = spans[i]
+		}
+		if *profileJSON {
+			profiles = append(profiles, varProfile{Var: r.Var, Target: r.Target, Profile: sp})
+			continue
+		}
 		fmt.Fprintf(out, "%s: %d samples, %d regions -> %s\n",
 			r.Var, len(r.Dataset.Samples), r.Dataset.NumRegions(), dir)
-		if *profile && i < len(spans) && spans[i] != nil {
-			fmt.Fprintf(out, "profile of %s:\n%s", r.Var, spans[i].Render())
+		if *profile && sp != nil {
+			fmt.Fprintf(out, "profile of %s:\n%s", r.Var, sp.Render())
 		}
+	}
+	if *profileJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			QueryID  string       `json:"query_id"`
+			Profiles []varProfile `json:"profiles"`
+		}{runner.QueryID, profiles})
 	}
 	fmt.Fprintf(out, "done in %v (%s backend, %d workers)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Mode, cfg.Workers)

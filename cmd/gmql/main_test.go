@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"genogo/internal/formats"
+	"genogo/internal/obs"
 	"genogo/internal/synth"
 )
 
@@ -229,5 +231,64 @@ func TestCLIBEDExport(t *testing.T) {
 	// Unknown format rejected.
 	if err := run([]string{"-data", data, "-format", "tsv", script}, &out); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestTraceCLIProfileQueryID: -profile prints the run's query id, the same
+// identity the query console and slow log would use.
+func TestTraceCLIProfileQueryID(t *testing.T) {
+	data := writeRepo(t)
+	script := writeScript(t, cliScript)
+	var out bytes.Buffer
+	args := []string{"-data", data, "-out", filepath.Join(t.TempDir(), "r"), "-mode", "serial", "-profile", script}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	line, _, _ := strings.Cut(out.String(), "\n")
+	if !strings.HasPrefix(line, "query id: q") {
+		t.Errorf("first line = %q, want a query id", line)
+	}
+}
+
+// TestTraceCLIProfileJSON: -profile-json emits only a JSON document with the
+// query id and one span tree per materialized variable.
+func TestTraceCLIProfileJSON(t *testing.T) {
+	data := writeRepo(t)
+	outDir := filepath.Join(t.TempDir(), "results")
+	script := writeScript(t, cliScript)
+	var out bytes.Buffer
+	args := []string{"-data", data, "-out", outDir, "-mode", "serial", "-profile-json", script}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		QueryID  string `json:"query_id"`
+		Profiles []struct {
+			Var     string    `json:"var"`
+			Target  string    `json:"target"`
+			Profile *obs.Span `json:"profile"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not a single JSON document: %v\n%s", err, out.String())
+	}
+	if !strings.HasPrefix(doc.QueryID, "q") {
+		t.Errorf("query_id = %q", doc.QueryID)
+	}
+	if len(doc.Profiles) != 1 || doc.Profiles[0].Var != "RESULT" || doc.Profiles[0].Target != "result" {
+		t.Fatalf("profiles = %+v", doc.Profiles)
+	}
+	root := doc.Profiles[0].Profile
+	if root == nil || root.Op != "MAP" || root.DurationNS <= 0 {
+		t.Errorf("profile root = %+v", root)
+	}
+	// The datasets were still materialized.
+	ds, err := formats.ReadDataset(filepath.Join(outDir, "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.SamplesOut != len(ds.Samples) || root.RegionsOut != ds.NumRegions() {
+		t.Errorf("span out = %ds/%dr, dataset = %ds/%dr",
+			root.SamplesOut, root.RegionsOut, len(ds.Samples), ds.NumRegions())
 	}
 }

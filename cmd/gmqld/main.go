@@ -13,11 +13,14 @@
 // so a stalled or malicious peer cannot pin server resources forever. The
 // write timeout is the effective ceiling on query execution time per request.
 //
-// Observability: /metrics (Prometheus text format) and /debug/pprof are
-// mounted on the main listener by default; -metrics-addr moves them to a
-// separate listener so operational endpoints need not be exposed to peers.
-// -slow-query logs any query slower than the given threshold, with its
-// hottest operators inlined.
+// Observability: /metrics (Prometheus text format), the /debug/queries live
+// query console (active and recent queries with drill-down to their span
+// trees, HTML and JSON) and /debug/pprof are mounted on the main listener by
+// default; -metrics-addr moves them to a separate listener so operational
+// endpoints need not be exposed to peers. The query console stays on the
+// main listener either way — federation peers correlate queries by the
+// X-Query-ID they sent. -slow-query logs any query slower than the given
+// threshold, with its hottest operators inlined.
 package main
 
 import (

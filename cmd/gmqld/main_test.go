@@ -1,8 +1,8 @@
 package main
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -164,4 +164,44 @@ func fetchMetrics(t *testing.T, url string) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestConsoleEndpointOnMainAddr: after a query executes, the node's
+// /debug/queries console lists it (JSON view) and drills down to the profile.
+func TestConsoleEndpointOnMainAddr(t *testing.T) {
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	srv, _, err := setup([]string{"-data", dir, "-mode", "serial"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	c := federation.NewClient(ts.URL)
+	qr, err := c.Execute(context.Background(),
+		`X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X;`, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.QueryID == "" {
+		t.Fatal("node minted no query id")
+	}
+	resp, err := http.Get(ts.URL + "/debug/queries/" + qr.QueryID + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("console status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{qr.QueryID, `"status": "done"`, `"rendered"`, "SCAN ENCODE"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("console entry missing %q:\n%s", want, body)
+		}
+	}
 }

@@ -78,7 +78,16 @@ func (s *Session) Eval(plan Node) (ds *gdm.Dataset, err error) {
 // effective parallelism, fusion-chain membership and cache hits. The root
 // span renders as an EXPLAIN ANALYZE-style profile (obs.Span.Render) and
 // marshals to JSON for the federated path.
-func (s *Session) EvalProfiled(plan Node) (ds *gdm.Dataset, root *obs.Span, err error) {
+func (s *Session) EvalProfiled(plan Node) (*gdm.Dataset, *obs.Span, error) {
+	return s.EvalProfiledLive(plan, nil)
+}
+
+// EvalProfiledLive is EvalProfiled with a live-observation hook: when
+// publish is non-nil it receives the root span before evaluation begins, so
+// a query registry can expose the growing tree to /debug/queries while the
+// query runs. Spans mutate only through mutex-guarded setters after
+// publication; observers read via obs.Span.Snapshot.
+func (s *Session) EvalProfiledLive(plan Node, publish func(*obs.Span)) (ds *gdm.Dataset, root *obs.Span, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ds, root, err = nil, nil, recoveredError(r)
@@ -86,6 +95,9 @@ func (s *Session) EvalProfiled(plan Node) (ds *gdm.Dataset, root *obs.Span, err 
 	}()
 	metricQueries.With(s.e.cfg.Mode.String()).Inc()
 	sp := newSpan(plan, s.e.cfg)
+	if publish != nil {
+		publish(sp)
+	}
 	ds, err = s.e.eval(plan, sp)
 	if err != nil {
 		return nil, nil, err
@@ -121,7 +133,7 @@ func (e *evaluator) eval(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 		e.mu.Unlock()
 		metricCacheHits.Inc()
 		if sp != nil {
-			sp.CacheHit = true
+			sp.SetCacheHit()
 			fillSpanOutput(sp, ds)
 			sp.Finish(start)
 		}
@@ -373,7 +385,7 @@ func (e *evaluator) tryFusedChain(n Node, sp *obs.Span) (*gdm.Dataset, bool, err
 		for i, c := range chain {
 			names[i] = opName(c)
 		}
-		sp.Fused = names
+		sp.SetFused(names)
 	}
 	src, err := e.evalChild(cur, sp)
 	if err != nil {

@@ -61,29 +61,32 @@ func newSpan(n Node, cfg Config) *obs.Span {
 	return sp
 }
 
-// fillSpanOutput records the span's output dataset shape.
+// fillSpanOutput records the span's output dataset shape. All span mutation
+// after publication goes through the mutex-guarded setters, so a live query
+// console can snapshot the tree while the query is still executing.
 func fillSpanOutput(sp *obs.Span, out *gdm.Dataset) {
-	sp.SamplesOut = len(out.Samples)
 	rs := 0
 	for i := range out.Samples {
 		rs += len(out.Samples[i].Regions)
 	}
-	sp.RegionsOut = rs
+	sp.SetOutput(len(out.Samples), rs)
 }
 
 // finishSpan completes a span once its operator has produced out: the inputs
 // total the children's outputs (every input of an operator is a child span),
 // and Workers is the parallelism the pool could actually use on that input —
-// the realized, not configured, fan-out.
+// the realized, not configured, fan-out. Reading the children directly is
+// safe here: every child finished before its parent's kernel ran (the
+// concurrent right operand of a binary operator synchronizes via channel).
 func finishSpan(sp *obs.Span, cfg Config, out *gdm.Dataset, start time.Time) {
 	sIn, rIn := 0, 0
 	for _, c := range sp.Children {
 		sIn += c.SamplesOut
 		rIn += c.RegionsOut
 	}
-	sp.SamplesIn, sp.RegionsIn = sIn, rIn
+	sp.SetInput(sIn, rIn)
 	if sIn > 0 {
-		sp.Workers = cfg.effectiveWorkers(sIn)
+		sp.SetWorkers(cfg.effectiveWorkers(sIn))
 	}
 	fillSpanOutput(sp, out)
 	sp.Finish(start)

@@ -8,12 +8,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
+	"genogo/internal/obs"
 	"genogo/internal/resilience"
 )
 
@@ -121,11 +121,23 @@ func truncateBody(b []byte) string {
 // breaker-gated, retried per the retrier, body capped. It returns the
 // response body and headers of the (first) attempt that answered with
 // wantStatus; any other status is a *resilience.StatusError.
+//
+// Trace propagation: when the context carries a query identity
+// (obs.WithQueryID) every request is stamped with X-Query-ID, and a
+// coordinator span reference (withCallTrace) adds X-Parent-Span — the
+// serving node files its execution under that identity in its own query
+// registry. The call trace also counts attempts, making retries visible in
+// federated profiles.
 func (c *Client) do(ctx context.Context, method, path string, payload []byte, wantStatus int) ([]byte, http.Header, error) {
 	var body []byte
 	var hdr http.Header
+	qid := obs.QueryIDFrom(ctx)
+	ct := callTraceFrom(ctx)
 	op := func(ctx context.Context) error {
 		body, hdr = nil, nil
+		if ct != nil {
+			ct.attempts++
+		}
 		if err := c.Breaker.Allow(); err != nil {
 			return err
 		}
@@ -136,6 +148,12 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, wa
 		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 		if err != nil {
 			return err
+		}
+		if qid != "" {
+			req.Header.Set(obs.HeaderQueryID, qid)
+		}
+		if ct != nil && ct.parent != "" {
+			req.Header.Set(obs.HeaderParentSpan, ct.parent)
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -262,16 +280,53 @@ func (c *Client) FetchChunk(ctx context.Context, resultID string, start, count i
 
 // FetchAll retrieves a whole staged result in chunks of chunkSize samples —
 // the "deferred result retrieval through limited staging" of Section 4.3.
+//
+// When the context carries a span (obs.WithSpan) each chunked-download stage
+// records a CHUNK child span with its sample range, data volume, and retry
+// attempts, so a federated profile shows exactly how a member's result
+// traveled.
 func (c *Client) FetchAll(ctx context.Context, resultID string, chunkSize int) (*gdm.Dataset, error) {
 	if chunkSize <= 0 {
 		chunkSize = 8
 	}
+	parent := obs.SpanFrom(ctx)
 	var out *gdm.Dataset
 	start := 0
 	for {
-		chunk, total, err := c.FetchChunk(ctx, resultID, start, chunkSize)
+		cctx := ctx
+		var csp *obs.Span
+		var ct *callTrace
+		var began time.Time
+		if parent != nil {
+			csp = obs.NewSpan("CHUNK")
+			csp.Detail = fmt.Sprintf("CHUNK %s [%d,%d)", resultID, start, start+chunkSize)
+			csp.Mode = "fed"
+			parent.AddChild(csp)
+			ct = &callTrace{}
+			if prev := callTraceFrom(ctx); prev != nil {
+				ct.parent = prev.parent
+			}
+			cctx = withCallTrace(ctx, ct)
+			began = time.Now()
+		}
+		chunk, total, err := c.FetchChunk(cctx, resultID, start, chunkSize)
+		if csp != nil && ct.attempts > 1 {
+			csp.SetAttr("attempts", strconv.Itoa(ct.attempts))
+		}
 		if err != nil {
+			if csp != nil {
+				csp.SetAttr("error", "fetch")
+				csp.Finish(began)
+			}
 			return nil, err
+		}
+		if csp != nil {
+			regions := 0
+			for i := range chunk.Samples {
+				regions += len(chunk.Samples[i].Regions)
+			}
+			csp.SetOutput(len(chunk.Samples), regions)
+			csp.Finish(began)
 		}
 		if out == nil {
 			out = gdm.NewDataset(chunk.Name, chunk.Schema)
@@ -319,8 +374,12 @@ func (nf NodeFailure) String() string {
 
 // PartialFailure is the structured degraded-mode report: exactly the
 // members whose results are missing from a federated answer, and why.
+// QueryID is the federated query's identity, so a partial-failure report
+// correlates with the /debug/queries console entry and the slow-log lines
+// of every node the query touched.
 type PartialFailure struct {
-	Failed []NodeFailure
+	QueryID string
+	Failed  []NodeFailure
 }
 
 // Error implements error, so a PartialFailure can travel as the query
@@ -330,7 +389,11 @@ func (p *PartialFailure) Error() string {
 		return "federation: no node failures"
 	}
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "federation: %d node(s) failed:", len(p.Failed))
+	b.WriteString("federation: ")
+	if p.QueryID != "" {
+		fmt.Fprintf(&b, "query %s: ", p.QueryID)
+	}
+	fmt.Fprintf(&b, "%d node(s) failed:", len(p.Failed))
 	for _, nf := range p.Failed {
 		fmt.Fprintf(&b, " [%s]", nf.String())
 	}
@@ -377,6 +440,17 @@ func (p Policy) quorum() int {
 type Federator struct {
 	Clients []*Client
 	Policy  Policy
+	// Queries is the registry federated queries register in for the
+	// /debug/queries console; nil means the process-wide obs.Queries().
+	Queries *obs.QueryRegistry
+}
+
+// queries resolves the console registry.
+func (f *Federator) queries() *obs.QueryRegistry {
+	if f.Queries != nil {
+		return f.Queries
+	}
+	return obs.Queries()
 }
 
 // BytesMoved totals payload traffic across all member clients.
@@ -388,45 +462,6 @@ func (f *Federator) BytesMoved() int64 {
 	return total
 }
 
-// queryNode runs the script on one member and fetches the staged result.
-// Whatever happens after staging succeeds — fetch errors, deadline expiry —
-// the staged result is released, so failures never leak the node's limited
-// staging slots.
-func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize int) (ds *gdm.Dataset, fail *NodeFailure) {
-	start := time.Now()
-	defer func() {
-		metricMemberLatency.With(c.BaseURL).Observe(time.Since(start).Seconds())
-		if fail != nil {
-			metricMemberFailures.With(fail.Stage).Inc()
-		}
-	}()
-	qr, err := c.Execute(ctx, script, varName)
-	if err != nil {
-		return nil, &NodeFailure{Node: c.BaseURL, Stage: "execute", Err: err}
-	}
-	release := func() {
-		if ctx.Err() == nil {
-			_ = c.Release(ctx, qr.ResultID)
-			return
-		}
-		// The query context is already dead; release in the background
-		// under its own deadline rather than stalling the caller or
-		// leaking the staging slot.
-		go func() {
-			rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), releaseTimeout)
-			defer cancel()
-			_ = c.Release(rctx, qr.ResultID)
-		}()
-	}
-	ds, err = c.FetchAll(ctx, qr.ResultID, chunkSize)
-	if err != nil {
-		release()
-		return nil, &NodeFailure{Node: c.BaseURL, Stage: "fetch", Err: err}
-	}
-	release()
-	return ds, nil
-}
-
 // Query runs the script on every member concurrently and merges the
 // results (sample union, in member order).
 //
@@ -436,65 +471,14 @@ func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize
 // returned together with a PartialFailure naming exactly the members that
 // were skipped (nil when every member answered); the query only errors
 // when fewer than Policy.Quorum members succeed.
+//
+// Every federated query gets a QueryID (reused from the context when
+// obs.WithQueryID set one), propagated to members as X-Query-ID and
+// registered in the query console; QueryProfiled additionally records the
+// merged cross-node span tree.
 func (f *Federator) Query(ctx context.Context, script, varName string, chunkSize int) (*gdm.Dataset, *PartialFailure, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if f.Policy.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, f.Policy.Deadline)
-		defer cancel()
-	}
-	type nodeResult struct {
-		ds   *gdm.Dataset
-		fail *NodeFailure
-	}
-	results := make([]nodeResult, len(f.Clients))
-	var wg sync.WaitGroup
-	for i, c := range f.Clients {
-		wg.Add(1)
-		go func(i int, c *Client) {
-			defer wg.Done()
-			ds, fail := queryNode(ctx, c, script, varName, chunkSize)
-			results[i] = nodeResult{ds, fail}
-		}(i, c)
-	}
-	wg.Wait()
-
-	var merged *gdm.Dataset
-	var report *PartialFailure
-	successes := 0
-	for _, r := range results {
-		if r.fail != nil {
-			if report == nil {
-				report = &PartialFailure{}
-			}
-			report.Failed = append(report.Failed, *r.fail)
-			continue
-		}
-		successes++
-		if merged == nil {
-			merged = r.ds
-			continue
-		}
-		u, err := engine.Union(engine.Config{MetaFirst: true}, merged, r.ds)
-		if err != nil {
-			return nil, report, err
-		}
-		merged = u
-	}
-	if report == nil {
-		return merged, nil, nil
-	}
-	metricPartialFailures.Inc()
-	if !f.Policy.AllowPartial {
-		return nil, report, fmt.Errorf("federated query aborted: %w", report)
-	}
-	if successes < f.Policy.quorum() {
-		return nil, report, fmt.Errorf("federated query below quorum (%d/%d members answered): %w",
-			successes, len(f.Clients), report)
-	}
-	return merged, report, nil
+	ds, _, report, err := f.run(ctx, script, varName, chunkSize, false)
+	return ds, report, err
 }
 
 // QueryNaive is the baseline architecture: download every input dataset the

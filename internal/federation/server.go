@@ -82,6 +82,12 @@ type QueryResponse struct {
 	Samples  int    `json:"samples"`
 	Regions  int    `json:"regions"`
 	Bytes    int64  `json:"bytes"`
+	// QueryID is the identity the node filed the execution under — the
+	// request's X-Query-ID when present, otherwise minted by the node — and
+	// Node names the answering node. Together they let a requester find this
+	// execution in the node's /debug/queries console and slow log.
+	QueryID string `json:"query_id,omitempty"`
+	Node    string `json:"node,omitempty"`
 	// Profile is the node-side execution span tree, present only when the
 	// request asked for one.
 	Profile *obs.Span `json:"profile,omitempty"`
@@ -101,6 +107,19 @@ type Server struct {
 	// this node executes slower than the log's threshold. Set it before
 	// serving.
 	SlowLog *obs.SlowQueryLog
+
+	// Queries is the registry node-side executions register in for the
+	// /debug/queries console; nil means the process-wide obs.Queries(). Set
+	// it before serving.
+	Queries *obs.QueryRegistry
+}
+
+// queries resolves the console registry.
+func (s *Server) queries() *obs.QueryRegistry {
+	if s.Queries != nil {
+		return s.Queries
+	}
+	return obs.Queries()
 }
 
 // NewServer builds a node over its local datasets.
@@ -137,7 +156,10 @@ func (s *Server) catalog() engine.MapCatalog {
 	return out
 }
 
-// Handler returns the node's HTTP handler.
+// Handler returns the node's HTTP handler. Besides the federation protocol
+// it serves the node's live query console on /debug/queries, so an operator
+// can inspect what a member is executing (and for whom — entries carry the
+// coordinator's QueryID) straight from the node's own port.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/datasets", s.handleDatasets)
@@ -145,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/results/", s.handleResults)
+	obs.MountQueries(mux, s.queries())
 	return mux
 }
 
@@ -259,9 +282,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
 		return
 	}
+	// The execution files under the requester's query identity when the
+	// request carries one (trace propagation); otherwise the node mints its
+	// own, so direct queries are visible in the console too.
+	qid := r.Header.Get(obs.HeaderQueryID)
+	if qid == "" {
+		qid = obs.NewQueryID()
+	}
+	entry := s.queries().Begin(qid, s.name, req.Var, req.Script)
+	entry.SetParentSpan(r.Header.Get(obs.HeaderParentSpan))
+	fail := func(status int, msg string) {
+		s.queries().Finish(entry, obs.StatusFailed, msg)
+		writeJSON(w, status, QueryResponse{Error: msg, QueryID: qid, Node: s.name})
+	}
 	prog, err := gmql.Parse(req.Script)
 	if err != nil {
-		writeJSON(w, http.StatusOK, QueryResponse{Error: err.Error()})
+		fail(http.StatusOK, err.Error())
 		return
 	}
 	catalog := s.catalog()
@@ -269,29 +305,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// The private dataset lives only in this request's catalog copy.
 		user, err := formats.DecodeDataset(strings.NewReader(req.UserDataset))
 		if err != nil {
-			writeJSON(w, http.StatusOK, QueryResponse{Error: "user dataset: " + err.Error()})
+			fail(http.StatusOK, "user dataset: "+err.Error())
 			return
 		}
 		catalog[user.Name] = user
 	}
-	runner := &gmql.Runner{Config: s.cfg, Catalog: catalog, SlowLog: s.SlowLog}
-	metricNodeQueries.Inc()
-	var ds *gdm.Dataset
-	var sp *obs.Span
-	if req.Profile {
-		ds, sp, err = runner.EvalProfiled(prog, req.Var)
-	} else {
-		ds, err = runner.Eval(prog, req.Var)
+	runner := &gmql.Runner{
+		Config: s.cfg, Catalog: catalog, SlowLog: s.SlowLog,
+		QueryID: qid, SpanObserver: entry.SetRoot,
 	}
+	metricNodeQueries.Inc()
+	// Always profiled: the span tree feeds the live console and the slow
+	// log on every execution (profiling overhead is within noise, see
+	// EXPERIMENTS.md); the tree goes on the wire only when asked for.
+	ds, sp, err := runner.EvalProfiled(prog, req.Var)
 	if err != nil {
-		writeJSON(w, http.StatusOK, QueryResponse{Error: err.Error()})
+		fail(http.StatusOK, err.Error())
 		return
 	}
 	s.mu.Lock()
 	if len(s.staged) >= s.maxStay {
-		writeJSON(w, http.StatusServiceUnavailable,
-			QueryResponse{Error: "staging area full; release results first"})
 		s.mu.Unlock()
+		fail(http.StatusServiceUnavailable, "staging area full; release results first")
 		return
 	}
 	s.nextID++
@@ -299,11 +334,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.staged[id] = ds
 	metricStagedResults.Set(int64(len(s.staged)))
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, QueryResponse{
+	s.queries().Finish(entry, obs.StatusDone, "")
+	resp := QueryResponse{
 		OK: true, ResultID: id,
 		Samples: len(ds.Samples), Regions: ds.NumRegions(), Bytes: ds.EstimateBytes(),
-		Profile: sp,
-	})
+		QueryID: qid, Node: s.name,
+	}
+	if req.Profile {
+		resp.Profile = sp
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleResults serves staged results:

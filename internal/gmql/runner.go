@@ -28,6 +28,14 @@ type Runner struct {
 	// it turns on profiling for Materialize, since the record inlines the
 	// hottest spans.
 	SlowLog *obs.SlowQueryLog
+	// QueryID is the query's process-spanning identity (obs.NewQueryID):
+	// slow-log records carry it so they correlate with /debug/queries console
+	// entries and federated trace headers.
+	QueryID string
+	// SpanObserver, when non-nil, receives each evaluation's root span before
+	// execution begins — the hook a live query registry uses to show
+	// in-flight progress. Observers must read spans via obs.Span.Snapshot.
+	SpanObserver func(*obs.Span)
 }
 
 // NewRunner returns a Runner with the default parallel configuration.
@@ -58,14 +66,15 @@ func (r *Runner) Eval(p *Program, name string) (*gdm.Dataset, error) {
 }
 
 // EvalProfiled is Eval plus the recorded span tree of the execution — the
-// EXPLAIN ANALYZE path.
+// EXPLAIN ANALYZE path. The root span is published to SpanObserver (when
+// set) before execution starts.
 func (r *Runner) EvalProfiled(p *Program, name string) (*gdm.Dataset, *obs.Span, error) {
 	session := engine.NewSession(r.Config, r.Catalog)
-	ds, sp, err := session.EvalProfiled(r.plan(p, name))
+	ds, sp, err := session.EvalProfiledLive(r.plan(p, name), r.SpanObserver)
 	if err != nil {
 		return nil, nil, fmt.Errorf("gmql: evaluating %s: %w", name, err)
 	}
-	r.SlowLog.Observe(name, sp)
+	r.SlowLog.ObserveQuery(r.QueryID, name, sp)
 	out := ds.Clone()
 	out.Name = name
 	out.SortRegions()
@@ -104,14 +113,14 @@ func (r *Runner) materialize(p *Program, profile bool) ([]Result, []*obs.Span, e
 		var sp *obs.Span
 		var err error
 		if profile {
-			ds, sp, err = session.EvalProfiled(r.plan(p, m.Var))
+			ds, sp, err = session.EvalProfiledLive(r.plan(p, m.Var), r.SpanObserver)
 		} else {
 			ds, err = session.Eval(r.plan(p, m.Var))
 		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("gmql: materializing %s: %w", m.Var, err)
 		}
-		r.SlowLog.Observe(m.Var, sp)
+		r.SlowLog.ObserveQuery(r.QueryID, m.Var, sp)
 		out := ds.Clone()
 		out.Name = m.Target
 		out.SortRegions()

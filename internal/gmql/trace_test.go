@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"genogo/internal/engine"
+	"genogo/internal/obs"
 )
 
 // TestMetricsGoldenSpanTree pins the rendered profile of the paper's Section 2
@@ -82,5 +83,55 @@ func TestMetricsProfiledMatchesUnprofiled(t *testing.T) {
 		if sp.RegionsOut != profiled.NumRegions() {
 			t.Errorf("mode %s: span regions_out = %d, dataset = %d", mode, sp.RegionsOut, profiled.NumRegions())
 		}
+	}
+}
+
+// TestTraceLiveSpanObserver exercises the live query console path: the
+// SpanObserver receives the root span before execution starts, and a
+// watcher goroutine snapshots and renders the tree the whole time the
+// stream backend is mutating it. Run with -race, this is the proof that a
+// mid-flight profile is safe to read.
+func TestTraceLiveSpanObserver(t *testing.T) {
+	prog, err := Parse(headline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	published := make(chan *obs.Span, 1)
+	r := &Runner{
+		Config:       engine.Config{Mode: engine.ModeStream, Workers: 4, MetaFirst: true},
+		Catalog:      testCatalog(t),
+		SpanObserver: func(sp *obs.Span) { published <- sp },
+	}
+	stop := make(chan struct{})
+	watched := make(chan int, 1)
+	go func() {
+		root := <-published
+		n := 0
+		for {
+			select {
+			case <-stop:
+				watched <- n
+				return
+			default:
+			}
+			snap := root.Snapshot()
+			_ = snap.Render()
+			n++
+		}
+	}()
+	ds, sp, err := r.EvalProfiled(prog, "RESULT")
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := <-watched; n == 0 {
+		t.Error("watcher never snapshotted the live tree")
+	}
+	// The observer got the same tree the call returned, and the finished
+	// snapshot agrees with the result.
+	final := sp.Snapshot()
+	if final.SamplesOut != len(ds.Samples) || final.RegionsOut != ds.NumRegions() {
+		t.Errorf("final snapshot out = %ds/%dr, dataset = %ds/%dr",
+			final.SamplesOut, final.RegionsOut, len(ds.Samples), ds.NumRegions())
 	}
 }

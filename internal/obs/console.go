@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The live query console: /debug/queries lists a process's active and
+// recently finished queries; /debug/queries/{id} drills into one, rendering
+// its (possibly still growing) span tree — the merged federated profile on a
+// coordinator, the local execution profile on a node. Both answer HTML for
+// browsers and JSON for tools (?format=json or an Accept: application/json
+// header), in the spirit of the Flink/Spark web UIs the ROADMAP's
+// production-scale north star calls for.
+
+// querySummary is the JSON shape of one console row.
+type querySummary struct {
+	ID         string        `json:"id"`
+	Node       string        `json:"node"`
+	Var        string        `json:"var"`
+	Digest     string        `json:"digest"`
+	ParentSpan string        `json:"parent_span,omitempty"`
+	Status     QueryStatus   `json:"status"`
+	Err        string        `json:"err,omitempty"`
+	StartedAt  time.Time     `json:"started_at"`
+	TookMS     float64       `json:"took_ms"`
+	Members    []MemberState `json:"members,omitempty"`
+	Progress   Progress      `json:"progress"`
+}
+
+func summarize(e *QueryEntry) querySummary {
+	return querySummary{
+		ID: e.ID, Node: e.Node, Var: e.Var, Digest: e.Digest,
+		ParentSpan: e.ParentSpan(),
+		Status:     e.Status(), Err: e.Err(),
+		StartedAt: e.Start,
+		TookMS:    float64(e.Took().Microseconds()) / 1e3,
+		Members:   e.Members(),
+		Progress:  e.Progress(),
+	}
+}
+
+// wantJSON reports whether the request asked for the JSON view.
+func wantJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// ConsoleHandler serves the query console over this registry.
+func (q *QueryRegistry) ConsoleHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/queries"), "/")
+		if id == "" {
+			q.serveList(w, r)
+			return
+		}
+		q.serveQuery(w, r, id)
+	})
+}
+
+func (q *QueryRegistry) serveList(w http.ResponseWriter, r *http.Request) {
+	active, recent := q.Active(), q.Recent()
+	if wantJSON(r) {
+		type listResponse struct {
+			Active []querySummary `json:"active"`
+			Recent []querySummary `json:"recent"`
+		}
+		resp := listResponse{Active: []querySummary{}, Recent: []querySummary{}}
+		for _, e := range active {
+			resp.Active = append(resp.Active, summarize(e))
+		}
+		for _, e := range recent {
+			resp.Recent = append(resp.Recent, summarize(e))
+		}
+		writeConsoleJSON(w, resp)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(consoleHeader)
+	fmt.Fprintf(&b, "<h1>queries</h1><p>%d active, %d recent</p>", len(active), len(recent))
+	writeTable(&b, "active", active)
+	writeTable(&b, "recent", recent)
+	b.WriteString(consoleFooter)
+	writeHTML(w, b.String())
+}
+
+func (q *QueryRegistry) serveQuery(w http.ResponseWriter, r *http.Request, id string) {
+	e := q.Get(id)
+	if e == nil {
+		http.Error(w, "unknown query "+id, http.StatusNotFound)
+		return
+	}
+	root := e.Root()
+	if wantJSON(r) {
+		type queryResponse struct {
+			querySummary
+			Profile  *Span  `json:"profile,omitempty"`
+			Rendered string `json:"rendered,omitempty"`
+		}
+		resp := queryResponse{querySummary: summarize(e), Profile: root}
+		if root != nil {
+			resp.Rendered = root.Render()
+		}
+		writeConsoleJSON(w, resp)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(consoleHeader)
+	s := summarize(e)
+	fmt.Fprintf(&b, "<h1>query %s</h1>", html.EscapeString(s.ID))
+	fmt.Fprintf(&b, "<p><span class=st-%s>%s</span> node=%s var=%s digest=%s took=%.1fms",
+		s.Status, s.Status, html.EscapeString(s.Node), html.EscapeString(s.Var), s.Digest, s.TookMS)
+	if s.ParentSpan != "" {
+		fmt.Fprintf(&b, " parent=%s", html.EscapeString(s.ParentSpan))
+	}
+	b.WriteString("</p>")
+	if s.Err != "" {
+		fmt.Fprintf(&b, "<p class=err>%s</p>", html.EscapeString(s.Err))
+	}
+	fmt.Fprintf(&b, "<p>progress: %d/%d operators done, %ds/%dr produced</p>",
+		s.Progress.SpansDone, s.Progress.SpansSeen, s.Progress.SamplesOut, s.Progress.RegionsOut)
+	if len(s.Members) > 0 {
+		b.WriteString("<h2>members</h2><table><tr><th>node</th><th>stage</th><th>samples</th><th>regions</th><th>attempts</th><th>breaker</th><th>bytes</th><th>error</th></tr>")
+		for _, m := range s.Members {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%d</td><td>%s</td></tr>",
+				html.EscapeString(m.Node), html.EscapeString(m.Stage), m.Samples, m.Regions,
+				m.Attempts, html.EscapeString(m.Breaker), m.Bytes, html.EscapeString(m.Err))
+		}
+		b.WriteString("</table>")
+	}
+	if root != nil {
+		fmt.Fprintf(&b, "<h2>profile</h2><pre>%s</pre>", html.EscapeString(root.Render()))
+	} else {
+		b.WriteString("<p>no profile recorded</p>")
+	}
+	b.WriteString(consoleFooter)
+	writeHTML(w, b.String())
+}
+
+func writeTable(b *strings.Builder, title string, entries []*QueryEntry) {
+	fmt.Fprintf(b, "<h2>%s</h2>", title)
+	if len(entries) == 0 {
+		b.WriteString("<p>none</p>")
+		return
+	}
+	b.WriteString("<table><tr><th>id</th><th>status</th><th>node</th><th>var</th><th>digest</th><th>took</th><th>progress</th><th>members</th></tr>")
+	for _, e := range entries {
+		s := summarize(e)
+		done := 0
+		for _, m := range s.Members {
+			if m.Stage == "done" || strings.HasPrefix(m.Stage, "failed") {
+				done++
+			}
+		}
+		members := ""
+		if len(s.Members) > 0 {
+			members = fmt.Sprintf("%d/%d", done, len(s.Members))
+		}
+		fmt.Fprintf(b, "<tr><td><a href=\"/debug/queries/%s\">%s</a></td><td><span class=st-%s>%s</span></td><td>%s</td><td>%s</td><td>%s</td><td>%.1fms</td><td>%d/%d ops, %ds/%dr</td><td>%s</td></tr>",
+			html.EscapeString(s.ID), html.EscapeString(s.ID), s.Status, s.Status,
+			html.EscapeString(s.Node), html.EscapeString(s.Var), s.Digest, s.TookMS,
+			s.Progress.SpansDone, s.Progress.SpansSeen, s.Progress.SamplesOut, s.Progress.RegionsOut,
+			members)
+	}
+	b.WriteString("</table>")
+}
+
+func writeConsoleJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeHTML(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(body))
+}
+
+const consoleHeader = `<!DOCTYPE html><html><head><title>queries</title><style>
+body{font-family:monospace;margin:2em}
+table{border-collapse:collapse}
+td,th{border:1px solid #999;padding:2px 8px;text-align:left}
+pre{background:#f4f4f4;padding:1em;overflow-x:auto}
+.st-running{color:#06c}.st-done{color:#080}.st-partial{color:#b60}.st-failed,.err{color:#c00}
+</style></head><body>`
+
+const consoleFooter = `</body></html>`

@@ -41,14 +41,24 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Mount registers the observability endpoints on a mux: /metrics serving the
-// registry, plus the /debug/pprof profiling handlers. Every serving binary
-// (gmqld, genomenet host) calls this so operators get engine profiles and
+// registry, /debug/queries serving the process-wide query console, plus the
+// /debug/pprof profiling handlers. Every serving binary (gmqld, genomenet
+// host) calls this so operators get engine profiles, live query state, and
 // runtime profiles from the same port the service answers on.
 func Mount(mux *http.ServeMux, r *Registry) {
 	mux.Handle("/metrics", r.Handler())
+	MountQueries(mux, Queries())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// MountQueries registers the live query console for one registry: the list
+// view on /debug/queries and per-query drill-down on /debug/queries/{id}.
+func MountQueries(mux *http.ServeMux, q *QueryRegistry) {
+	h := q.ConsoleHandler()
+	mux.Handle("/debug/queries", h)
+	mux.Handle("/debug/queries/", h)
 }

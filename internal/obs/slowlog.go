@@ -30,6 +30,14 @@ func (l *SlowQueryLog) logger() *slog.Logger {
 // variable name, a script digest); root is its profile, which may be nil
 // (only the duration is logged then).
 func (l *SlowQueryLog) Observe(query string, root *Span) {
+	l.ObserveQuery("", query, root)
+}
+
+// ObserveQuery is Observe with the query's process-spanning identity: the
+// record carries query_id, so slow-log lines correlate with /debug/queries
+// console entries and federated partial-failure reports on every node the
+// query touched. An empty id logs like Observe.
+func (l *SlowQueryLog) ObserveQuery(id, query string, root *Span) {
 	if l == nil || l.Threshold <= 0 || root == nil || root.Duration() < l.Threshold {
 		return
 	}
@@ -38,6 +46,9 @@ func (l *SlowQueryLog) Observe(query string, root *Span) {
 		slog.Duration("took", root.Duration()),
 		slog.Duration("threshold", l.Threshold),
 		slog.Int("regions_out", root.RegionsOut),
+	}
+	if id != "" {
+		attrs = append(attrs, slog.String("query_id", id))
 	}
 	for i, sp := range root.TopBySelf(3) {
 		attrs = append(attrs, slog.Group("span"+string(rune('1'+i)),

@@ -15,9 +15,12 @@ import (
 // profile-over-the-wire path.
 //
 // Concurrent children (the two inputs of a binary operator under the stream
-// backend) attach through AddChild, which is mutex-guarded; all other fields
-// are written only by the goroutine executing the operator, before the span
-// is published to readers.
+// backend) attach through AddChild, which is mutex-guarded. Identity fields
+// (Op, Detail, Mode) are written before the span is published; everything a
+// span learns after publication goes through the mutex-guarded setters, so a
+// live query console can Snapshot an in-flight tree race-free. Read-side
+// helpers (Render, Flatten, SelfNS, JSON marshaling) take no locks: call
+// them on finished trees or on the detached copies Snapshot returns.
 type Span struct {
 	// Op is the operator name (SELECT, MAP, SCAN, ...).
 	Op string `json:"op"`
@@ -42,6 +45,12 @@ type Span struct {
 	// CacheHit marks a subtree answered from the session's result cache:
 	// no work happened here, the output was shared.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Attrs are free-form annotations (retry attempts, breaker state, bytes
+	// moved, ...) rendered sorted by key so profiles stay deterministic.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Remote marks a span grafted from another node's profile (the federated
+	// merge): the subtree executed there, not in this process.
+	Remote bool `json:"remote,omitempty"`
 	// Children are the input operators, in plan order.
 	Children []*Span `json:"children,omitempty"`
 
@@ -62,12 +71,139 @@ func (s *Span) AddChild(c *Span) {
 	s.mu.Unlock()
 }
 
-// Finish records the wall time since start.
+// Finish records the wall time since start. Like every setter below it takes
+// the span's mutex, so a span published to a live query registry can be
+// snapshotted while its operator is still executing.
 func (s *Span) Finish(start time.Time) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	s.DurationNS = time.Since(start).Nanoseconds()
+	s.mu.Unlock()
+}
+
+// SetOutput records the span's output dataset shape.
+func (s *Span) SetOutput(samples, regions int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.SamplesOut, s.RegionsOut = samples, regions
+	s.mu.Unlock()
+}
+
+// SetInput records the span's input totals.
+func (s *Span) SetInput(samples, regions int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.SamplesIn, s.RegionsIn = samples, regions
+	s.mu.Unlock()
+}
+
+// SetWorkers records the effective parallelism.
+func (s *Span) SetWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Workers = n
+	s.mu.Unlock()
+}
+
+// SetCacheHit marks the span as answered from a result cache.
+func (s *Span) SetCacheHit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.CacheHit = true
+	s.mu.Unlock()
+}
+
+// SetFused records the fusion-chain membership of the span.
+func (s *Span) SetFused(names []string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Fused = names
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. Attributes render sorted by key.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr reads one annotation ("" when absent).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Attrs[key]
+}
+
+// MarkRemote flags the whole subtree as grafted from another node.
+func (s *Span) MarkRemote() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Remote = true
+	kids := s.Children
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.MarkRemote()
+	}
+}
+
+// Snapshot deep-copies the span tree under each span's mutex, producing a
+// detached tree that is safe to render, marshal, or walk while the original
+// is still being written by an executing query. Writers that mutate spans
+// after publication (AddChild, Finish and the setters) hold the same mutex,
+// so a snapshot observes each span atomically: a mid-flight profile shows
+// finished operators with their final numbers and unfinished ones with
+// zero duration.
+func (s *Span) Snapshot() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	c := &Span{
+		Op: s.Op, Detail: s.Detail, Mode: s.Mode,
+		DurationNS: s.DurationNS,
+		SamplesIn:  s.SamplesIn, RegionsIn: s.RegionsIn,
+		SamplesOut: s.SamplesOut, RegionsOut: s.RegionsOut,
+		Workers: s.Workers, CacheHit: s.CacheHit, Remote: s.Remote,
+	}
+	if len(s.Fused) > 0 {
+		c.Fused = append([]string(nil), s.Fused...)
+	}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make(map[string]string, len(s.Attrs))
+		for k, v := range s.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	kids := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, k := range kids {
+		c.Children = append(c.Children, k.Snapshot())
+	}
+	return c
 }
 
 // Duration returns the recorded wall time.
@@ -163,6 +299,19 @@ func (s *Span) render(b *strings.Builder, indent int) {
 	}
 	if s.CacheHit {
 		b.WriteString(" cached")
+	}
+	if s.Remote {
+		b.WriteString(" remote")
+	}
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%s", k, s.Attrs[k])
+		}
 	}
 	b.WriteString("]")
 	fmt.Fprintf(b, " time=%.1fms", float64(s.DurationNS)/1e6)

@@ -10,8 +10,8 @@ import (
 // clock is an injectable test clock.
 type clock struct{ t time.Time }
 
-func (c *clock) now() time.Time                 { return c.t }
-func (c *clock) advance(d time.Duration)        { c.t = c.t.Add(d) }
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func newBreaker(c *clock, threshold int) *Breaker {
 	return &Breaker{FailureThreshold: threshold, Cooldown: time.Second, Now: c.now}
 }
