@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genogo/internal/difftest"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{"-seeds", "12", "-jobs", "2", "-report", report}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "agreed:") {
+		t.Fatalf("summary missing agreed line:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep difftest.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Seeds != 12 {
+		t.Fatalf("report seeds = %d, want 12", rep.Seeds)
+	}
+	if rep.Agreed+rep.OracleErrors+len(rep.Diverged) != rep.Seeds {
+		t.Fatalf("report does not account for all cases: %+v", rep)
+	}
+	if len(rep.Diverged) != 0 {
+		t.Fatalf("unexpected divergences in smoke campaign: %+v", rep.Diverged)
+	}
+	if len(rep.OpCoverage) == 0 {
+		t.Fatal("report has no operator coverage")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seeds", "0"}, &out); err == nil {
+		t.Fatal("want error for -seeds 0")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Fatal("want error for positional arguments")
+	}
+}

@@ -1,0 +1,138 @@
+package difftest
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// CampaignOptions parametrizes a fuzzing campaign: Seeds consecutive
+// generator seeds starting at Start, each run through the full matrix.
+type CampaignOptions struct {
+	// Start is the first generator seed; the campaign covers
+	// [Start, Start+Seeds).
+	Start int64
+	// Seeds is the number of cases. Zero means 200.
+	Seeds int
+	// DatasetSeed seeds the shared catalog (zero means 1).
+	DatasetSeed int64
+	// Tolerance for float comparison; zero means DefaultTolerance.
+	Tolerance float64
+	// Federation adds the federation round-trip to every FederationEvery-th
+	// case (the HTTP round-trip dominates runtime, so it is sampled).
+	Federation bool
+	// FederationEvery samples the federation round-trip; zero means 10.
+	FederationEvery int
+	// Jobs bounds campaign parallelism; zero means 4. Case-level
+	// parallelism is safe: the catalog is shared read-only (operator
+	// kernels never mutate their inputs) and each case gets its own
+	// engine sessions.
+	Jobs int
+}
+
+// Report is the machine-readable campaign outcome — the JSON artifact
+// cmd/gmqldiff emits and CI uploads.
+type Report struct {
+	Start       int64 `json:"start"`
+	Seeds       int   `json:"seeds"`
+	DatasetSeed int64 `json:"dataset_seed"`
+	// Agreed counts cases where every configuration matched the oracle.
+	Agreed int `json:"agreed"`
+	// OracleErrors counts cases whose serial execution errored (every
+	// configuration agreed on erroring — these are degenerate scripts, not
+	// divergences).
+	OracleErrors int `json:"oracle_errors"`
+	// Diverged holds every diverging case, with minimized reproducers.
+	Diverged []*CaseResult `json:"diverged,omitempty"`
+	// OpCoverage counts operator keywords across all generated scripts —
+	// the per-operator coverage evidence of the campaign.
+	OpCoverage map[string]int `json:"op_coverage"`
+	// Configs names the matrix the campaign ran.
+	Configs []string `json:"configs"`
+	// Federation reports whether the federation round-trip was sampled.
+	Federation bool    `json:"federation"`
+	Tolerance  float64 `json:"tolerance"`
+}
+
+// RunCampaign runs a full campaign and aggregates the report.
+func RunCampaign(opts CampaignOptions) *Report {
+	if opts.Seeds == 0 {
+		opts.Seeds = 200
+	}
+	if opts.DatasetSeed == 0 {
+		opts.DatasetSeed = 1
+	}
+	if opts.FederationEvery <= 0 {
+		opts.FederationEvery = 10
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = 4
+	}
+	cat := BuildCatalog(opts.DatasetSeed)
+	results := make([]*CaseResult, opts.Seeds)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := opts.Start + int64(i)
+				co := Options{
+					DatasetSeed: opts.DatasetSeed,
+					Tolerance:   opts.Tolerance,
+					Catalog:     cat,
+					Federation:  opts.Federation && i%opts.FederationEvery == 0,
+				}
+				results[i] = RunCase(seed, co)
+			}
+		}()
+	}
+	for i := 0; i < opts.Seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	rep := &Report{
+		Start:       opts.Start,
+		Seeds:       opts.Seeds,
+		DatasetSeed: opts.DatasetSeed,
+		OpCoverage:  make(map[string]int),
+		Federation:  opts.Federation,
+		Tolerance:   opts.Tolerance,
+	}
+	if rep.Tolerance == 0 {
+		rep.Tolerance = DefaultTolerance
+	}
+	for _, ec := range Matrix() {
+		rep.Configs = append(rep.Configs, ec.Name)
+	}
+	if opts.Federation {
+		rep.Configs = append(rep.Configs, "federation")
+	}
+	for _, cr := range results {
+		for op, n := range cr.Ops {
+			rep.OpCoverage[op] += n
+		}
+		switch {
+		case cr.Diverged():
+			// Drop the per-config agreement noise from the artifact; keep
+			// only what reproduces the bug.
+			rep.Diverged = append(rep.Diverged, cr)
+		case cr.OracleErr != "":
+			rep.OracleErrors++
+		default:
+			rep.Agreed++
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

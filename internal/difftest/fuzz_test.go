@@ -1,0 +1,31 @@
+package difftest
+
+import "testing"
+
+// FuzzDifferential feeds generator seeds to the differential oracle: Go's
+// fuzzer mutates the seed, the seed deterministically expands into a GMQL
+// script, and the script must agree across every backend. Any crasher the
+// fuzzer saves IS the reproducer: re-running the seed regenerates the
+// script, and the failure message carries the minimized sub-script.
+func FuzzDifferential(f *testing.F) {
+	for _, s := range []int64{1, 42, 1000, 31337} {
+		f.Add(s)
+	}
+	cat := BuildCatalog(1)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		res := RunCase(seed, Options{DatasetSeed: 1, Catalog: cat})
+		if res.OracleErr != "" {
+			// Degenerate scripts (all modes agree on an error) are fine;
+			// only disagreement is a finding.
+			if res.Diverged() {
+				t.Fatalf("seed %d: modes disagree about the error:\n%s\nresults: %+v",
+					seed, res.Script, res.Results)
+			}
+			return
+		}
+		if res.Diverged() {
+			t.Fatalf("seed %d diverged:\n%s\nminimized reproducer:\n%s\nresults: %+v",
+				seed, res.Script, res.Minimized, res.Results)
+		}
+	})
+}

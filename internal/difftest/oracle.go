@@ -1,0 +1,222 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"genogo/internal/engine"
+	"genogo/internal/federation"
+	"genogo/internal/gdm"
+	"genogo/internal/gmql"
+	"genogo/internal/synth"
+)
+
+// Catalog sizes. Small on purpose: the oracle's value is breadth of scripts,
+// not dataset scale, and JOIN/MAP sample counts multiply.
+const (
+	encodeSamples = 5
+	peaksSamples  = 4
+	annotGenes    = 24
+)
+
+// BuildCatalog builds the three base datasets every generated script draws
+// from, deterministically from one seed:
+//
+//	ENCODE — 5 ChIP-seq-like samples (p_value, signal) with ENCODE metadata
+//	PEAKS  — 4 more of the same shape, independently drawn
+//	ANNOT  — promoters + genes annotation tracks (name)
+func BuildCatalog(seed int64) engine.MapCatalog {
+	g := synth.New(seed)
+	enc := g.Encode(synth.EncodeOptions{Samples: encodeSamples, MeanPeaks: 12})
+	enc.Name = "ENCODE"
+	g2 := synth.New(seed + 1)
+	peaks := g2.Encode(synth.EncodeOptions{Samples: peaksSamples, MeanPeaks: 10})
+	peaks.Name = "PEAKS"
+	ann := g.Annotations(g.Genes(annotGenes))
+	ann.Name = "ANNOT"
+	return engine.MapCatalog{"ENCODE": enc, "PEAKS": peaks, "ANNOT": ann}
+}
+
+// ExecConfig is one execution configuration of the matrix.
+type ExecConfig struct {
+	Name string
+	Cfg  engine.Config
+}
+
+// Matrix returns the execution configurations every case runs under. The
+// first entry is the oracle (serial reference execution); the rest must
+// agree with it. All configurations validate operator-output invariants
+// (canonical region order, schema-width arity, typed values) on every plan
+// node — the invariant half of the differential check.
+func Matrix() []ExecConfig {
+	base := func(m engine.Mode, workers int, noFusion bool) engine.Config {
+		return engine.Config{
+			Mode: m, Workers: workers, MetaFirst: true,
+			DisableFusion: noFusion, ValidateOutputs: true,
+		}
+	}
+	return []ExecConfig{
+		{Name: "serial", Cfg: base(engine.ModeSerial, 1, false)},
+		{Name: "batch/w1", Cfg: base(engine.ModeBatch, 1, false)},
+		{Name: "batch/w4", Cfg: base(engine.ModeBatch, 4, false)},
+		{Name: "stream/w1", Cfg: base(engine.ModeStream, 1, false)},
+		{Name: "stream/w4", Cfg: base(engine.ModeStream, 4, false)},
+		{Name: "stream/w1/nofuse", Cfg: base(engine.ModeStream, 1, true)},
+		{Name: "stream/w4/nofuse", Cfg: base(engine.ModeStream, 4, true)},
+	}
+}
+
+// Options parametrizes a differential case run.
+type Options struct {
+	// DatasetSeed seeds BuildCatalog. Zero means 1.
+	DatasetSeed int64
+	// Tolerance for float comparison; zero means DefaultTolerance.
+	Tolerance float64
+	// Federation adds a single-node federation round-trip (execute the
+	// script on an HTTP federation node, fetch the result in chunks,
+	// compare against the serial oracle).
+	Federation bool
+	// Catalog, when non-nil, overrides BuildCatalog(DatasetSeed) — the
+	// campaign runner shares one catalog across cases.
+	Catalog engine.MapCatalog
+}
+
+// ConfigResult is the outcome of one execution configuration on one case.
+type ConfigResult struct {
+	Config string `json:"config"`
+	// Err is the execution error, if any. An error matching the oracle's
+	// error is agreement, not divergence.
+	Err string `json:"err,omitempty"`
+	// Diff describes the first difference against the oracle; "" is
+	// agreement.
+	Diff string `json:"diff,omitempty"`
+}
+
+// Diverged reports whether this configuration disagreed with the oracle.
+func (c ConfigResult) Diverged() bool { return c.Diff != "" }
+
+// CaseResult is the outcome of one generated script across the matrix.
+type CaseResult struct {
+	Seed        int64          `json:"seed"`
+	DatasetSeed int64          `json:"dataset_seed"`
+	Script      string         `json:"script"`
+	Ops         map[string]int `json:"ops"`
+	// OracleErr is the serial execution's error, if any. When the oracle
+	// errors, agreement means every configuration errors too (error texts
+	// may differ across modes; only the error-ness must agree).
+	OracleErr string         `json:"oracle_err,omitempty"`
+	Results   []ConfigResult `json:"results,omitempty"`
+	// Minimized is the smallest sub-script that still diverges, present
+	// only on divergence.
+	Minimized string `json:"minimized,omitempty"`
+}
+
+// Diverged reports whether any configuration disagreed with the oracle.
+func (c *CaseResult) Diverged() bool {
+	for _, r := range c.Results {
+		if r.Diverged() {
+			return true
+		}
+	}
+	return false
+}
+
+// RunCase generates the script of one seed and runs it through the whole
+// matrix, comparing every configuration against the serial oracle. On
+// divergence the result carries a minimized reproducer.
+func RunCase(seed int64, opts Options) *CaseResult {
+	if opts.DatasetSeed == 0 {
+		opts.DatasetSeed = 1
+	}
+	cat := opts.Catalog
+	if cat == nil {
+		cat = BuildCatalog(opts.DatasetSeed)
+	}
+	script := Generate(seed)
+	res := &CaseResult{
+		Seed:        seed,
+		DatasetSeed: opts.DatasetSeed,
+		Script:      script.Text(),
+		Ops:         script.Ops,
+	}
+	runMatrix(res, script.Text(), script.Final, cat, opts)
+	if res.Diverged() {
+		res.Minimized = Minimize(script, func(text, final string) bool {
+			probe := &CaseResult{}
+			runMatrix(probe, text, final, cat, opts)
+			return probe.Diverged()
+		})
+	}
+	return res
+}
+
+// runMatrix executes one script text under every configuration and fills
+// res.OracleErr / res.Results.
+func runMatrix(res *CaseResult, text, final string, cat engine.MapCatalog, opts Options) {
+	prog, err := gmql.Parse(text)
+	if err != nil {
+		// The generator's contract is to emit parseable scripts; a parse
+		// error is a harness bug and counts as an oracle error so the case
+		// is surfaced, never silently skipped.
+		res.OracleErr = fmt.Sprintf("generator emitted unparseable script: %v", err)
+		return
+	}
+	matrix := Matrix()
+	oracleCfg := matrix[0]
+	oracle, oracleErr := (&gmql.Runner{Config: oracleCfg.Cfg, Catalog: cat}).Eval(prog, final)
+	if oracleErr != nil {
+		res.OracleErr = oracleErr.Error()
+	}
+	for _, ec := range matrix[1:] {
+		cr := ConfigResult{Config: ec.Name}
+		got, err := (&gmql.Runner{Config: ec.Cfg, Catalog: cat}).Eval(prog, final)
+		switch {
+		case err != nil && oracleErr != nil:
+			// Both error: agreement.
+			cr.Err = err.Error()
+		case err != nil:
+			cr.Err = err.Error()
+			cr.Diff = fmt.Sprintf("config errored but oracle succeeded: %v", err)
+		case oracleErr != nil:
+			cr.Diff = "config succeeded but oracle errored: " + oracleErr.Error()
+		default:
+			cr.Diff = Diff(oracle, got, opts.Tolerance)
+		}
+		res.Results = append(res.Results, cr)
+	}
+	if opts.Federation {
+		cr := ConfigResult{Config: "federation"}
+		got, err := runFederated(text, final, cat)
+		switch {
+		case err != nil && oracleErr != nil:
+			cr.Err = err.Error()
+		case err != nil:
+			cr.Err = err.Error()
+			cr.Diff = fmt.Sprintf("federation errored but oracle succeeded: %v", err)
+		case oracleErr != nil:
+			cr.Diff = "federation succeeded but oracle errored: " + oracleErr.Error()
+		default:
+			cr.Diff = Diff(oracle, got, opts.Tolerance)
+		}
+		res.Results = append(res.Results, cr)
+	}
+}
+
+// runFederated executes the script on a single in-process federation node
+// (stream mode, 4 workers) and fetches the staged result in small chunks —
+// the full execute/stage/chunked-retrieval wire path of Section 4.3.
+func runFederated(text, final string, cat engine.MapCatalog) (*gdm.Dataset, error) {
+	cfg := engine.Config{Mode: engine.ModeStream, Workers: 4, MetaFirst: true, ValidateOutputs: true}
+	srv := federation.NewServer("difftest-node", cfg,
+		cat["ENCODE"], cat["PEAKS"], cat["ANNOT"])
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := federation.NewClient(ts.URL)
+	ctx := context.Background()
+	resp, err := client.Execute(ctx, text, final)
+	if err != nil {
+		return nil, err
+	}
+	return client.FetchAll(ctx, resp.ResultID, 3)
+}

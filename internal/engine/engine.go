@@ -70,6 +70,13 @@ type Config struct {
 	MetaFirst bool
 	// DisableFusion turns off operator fusion in ModeStream (ablation).
 	DisableFusion bool
+	// ValidateOutputs checks the operator-output invariants (canonical
+	// region order, schema-width value arity, typed values, unique sample
+	// IDs) after every plan node and fails the query on a violation. It is
+	// how the differential harness and the invariants tests assert the
+	// DESIGN.md invariants on every operator of every plan, not just
+	// hand-picked ones. Off in production: it re-walks every output.
+	ValidateOutputs bool
 }
 
 // DefaultConfig returns the recommended parallel configuration.

@@ -144,6 +144,11 @@ func (e *evaluator) eval(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.cfg.ValidateOutputs {
+		if verr := ValidateOperatorOutput(opName(n), ds); verr != nil {
+			return nil, verr
+		}
+	}
 	e.mu.Lock()
 	e.cache[n] = ds
 	e.mu.Unlock()

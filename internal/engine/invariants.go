@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"fmt"
+
+	"genogo/internal/gdm"
+)
+
+// ValidateOperatorOutput checks the invariants every operator output must
+// satisfy, regardless of backend: a non-nil schema, canonical region order
+// inside every sample, region value arity equal to the schema width, typed
+// values matching the schema kinds, and unique sample IDs. It is the check
+// Config.ValidateOutputs applies after every plan node, and the one the
+// differential harness and the invariants tests share.
+//
+// gdm.Dataset.Validate already covers all of these; this wrapper exists to
+// give violations an operator-shaped error prefix so a failing node is
+// identifiable in a deep plan.
+func ValidateOperatorOutput(op string, ds *gdm.Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("engine: %s produced a nil dataset", op)
+	}
+	if ds.Schema == nil {
+		return fmt.Errorf("engine: %s produced a dataset with nil schema", op)
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("engine: %s output invariant violated: %w", op, err)
+	}
+	return nil
+}

@@ -83,6 +83,85 @@ func TestOperatorInvariants(t *testing.T) {
 	}
 }
 
+// TestPlanOutputInvariants runs whole multi-operator plans — not single
+// kernels — under Config.ValidateOutputs, which re-checks the canonical
+// region order, schema-width value arity, typed values and unique sample IDs
+// after EVERY plan node. This is the same switch the difftest smoke harness
+// flips, so any operator that emits an unsorted or schema-violating
+// intermediate fails here and there, not just on hand-picked plans.
+func TestPlanOutputInvariants(t *testing.T) {
+	scoreGt := expr.Cmp{Op: expr.CmpGt, Left: expr.Attr{Name: "score"}, Right: expr.Const{Value: gdm.Float(2)}}
+	plans := func() map[string]Node {
+		scanA := &Scan{Dataset: "A"}
+		scanB := &Scan{Dataset: "B"}
+		return map[string]Node{
+			"select-project-extend": &ExtendOp{
+				Aggs: []expr.Aggregate{{Output: "n", Func: expr.AggCount}},
+				Input: &ProjectOp{
+					Args: ProjectArgs{Regions: []ProjectItem{
+						{Name: "score"},
+						{Name: "len", Expr: expr.Arith{Op: expr.OpSub, Left: expr.Attr{Name: "right"}, Right: expr.Attr{Name: "left"}}},
+					}},
+					Input: &SelectOp{Input: scanA, Meta: expr.MetaExists{Attr: "cell"}, Region: scoreGt},
+				},
+			},
+			"join-over-union": &JoinOp{
+				Left:  &UnionOp{Left: scanA, Right: scanB},
+				Right: scanB,
+				Args: JoinArgs{Pred: GenometricPred{Conds: []DistCond{{Op: DistLE, Dist: 500}}},
+					Output: OutCat},
+			},
+			"cover-of-map": &CoverOp{
+				Input: &MapOp{Ref: scanA, Exp: scanB, Args: MapArgs{Aggs: countAgg()}},
+				Args: CoverArgs{Min: CoverBound{Kind: BoundN, N: 1}, Max: CoverBound{Kind: BoundAny},
+					Variant: CoverHistogram},
+			},
+			"order-group-difference": &OrderOp{
+				Args: OrderArgs{Keys: []OrderKey{{Attr: "cell"}}, Top: 4},
+				Input: &GroupOp{
+					Args:  GroupArgs{By: []string{"dataType"}, MetaAggs: []expr.Aggregate{{Output: "n", Func: expr.AggCountSamp}}},
+					Input: &DifferenceOp{Left: scanA, Right: scanB},
+				},
+			},
+			"merge-of-select": &MergeOp{
+				GroupBy: []string{"cell"},
+				Input:   &SelectOp{Input: scanA, Region: scoreGt},
+			},
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(900 + trial)))
+		cat := MapCatalog{
+			"A": randomDataset(rng, "A", 4, 50),
+			"B": randomDataset(rng, "B", 3, 50),
+		}
+		for _, cfg := range allConfigs() {
+			cfg.ValidateOutputs = true
+			for name, plan := range plans() {
+				if _, err := Run(cfg, plan, cat); err != nil {
+					t.Errorf("trial %d mode=%s plan %s: %v", trial, cfg.Mode, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateOutputsCatchesViolations proves the invariant check is live: a
+// catalog dataset with out-of-order regions must fail the query as soon as
+// any node consumes it with ValidateOutputs on.
+func TestValidateOutputsCatchesViolations(t *testing.T) {
+	bad := gdm.NewDataset("BAD", peakSchema())
+	s := gdm.NewSample("s1")
+	s.AddRegion(gdm.NewRegion("chr2", 10, 20, gdm.StrandNone, gdm.Float(1), gdm.Str("r")))
+	s.AddRegion(gdm.NewRegion("chr1", 10, 20, gdm.StrandNone, gdm.Float(1), gdm.Str("r")))
+	bad.Samples = append(bad.Samples, s) // bypass Add: regions deliberately unsorted
+	cfg := Config{Mode: ModeSerial, MetaFirst: true, ValidateOutputs: true}
+	_, err := Run(cfg, &Scan{Dataset: "BAD"}, MapCatalog{"BAD": bad})
+	if err == nil {
+		t.Fatal("unsorted scan output passed ValidateOutputs")
+	}
+}
+
 // TestMapCardinalityLawProperty: |output sample regions| == |ref sample
 // regions| for every pair, across random inputs and backends.
 func TestMapCardinalityLawProperty(t *testing.T) {

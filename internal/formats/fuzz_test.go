@@ -1,0 +1,35 @@
+package formats
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBED: the BED reader ingests files from outside the system (track hubs,
+// collaborators' exports), so it must never panic — malformed lines either
+// parse permissively or return an error.
+func FuzzBED(f *testing.F) {
+	f.Add("chr1\t100\t200\tpeak1\t5.5\t+\n")
+	f.Add("chr1\t100\t200\nchr2\t5\t10\tx\t1\t-\nchrX\t0\t1\n")
+	f.Add("track name=x\n# comment\nchr7\t10\t20\t.\t.\t.\n")
+	f.Add("chr1\t200\t100\n")   // inverted coordinates
+	f.Add("chr1\tNaN\t1e99\n")  // absurd numbers
+	f.Add("\x00\xff\nchr\t\t.") // binary junk
+	f.Fuzz(func(t *testing.T, data string) {
+		s, schema, err := ReadBED("fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil || schema == nil {
+			t.Fatalf("ReadBED returned nil sample/schema without error for %q", data)
+		}
+		// Every parsed region must have the schema's arity, or downstream
+		// operators index out of bounds.
+		for i := range s.Regions {
+			if len(s.Regions[i].Values) != schema.Len() {
+				t.Fatalf("region %d arity %d != schema %d for input %q",
+					i, len(s.Regions[i].Values), schema.Len(), data)
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package gmql
+
+import (
+	"testing"
+)
+
+// FuzzLex: the lexer must never panic — any input, however mangled, either
+// tokenizes or returns an error.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeedScripts {
+		f.Add(s)
+	}
+	f.Add("'unterminated")
+	f.Add("1.2.3e++5")
+	f.Add(";;;;")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		// On success the token stream must be EOF-terminated, or the parser
+		// would walk off the end.
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("lex(%q) returned a stream without EOF terminator", src)
+		}
+	})
+}
+
+// FuzzParse: the parser must never panic, only return errors — a GMQL
+// script arrives over the federation wire from untrusted peers, so a parser
+// panic is a remote crash.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeedScripts {
+		f.Add(s)
+	}
+	f.Add("V = SELECT( ENCODE;")
+	f.Add("MATERIALIZE ;")
+	f.Add("V = JOIN(DLE(-)) A B;")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program without error")
+		}
+	})
+}
+
+// fuzzSeedScripts are valid scripts covering every operator, so the fuzzer
+// starts from deep grammar paths instead of discovering the keyword set by
+// chance.
+var fuzzSeedScripts = []string{
+	"V1 = SELECT(dataType == 'ChipSeq' AND NOT (cell == 'K562'); region: p_value < 0.001) ENCODE;\nMATERIALIZE V1 INTO OUT;",
+	"V1 = SELECT(semijoin: cell NOT IN PEAKS) ENCODE;\nMATERIALIZE V1;",
+	"V1 = PROJECT(p_value, x1 AS signal * 2 + 1, x2 AS right - left; metadata: cell) ENCODE;\nMATERIALIZE V1;",
+	"V1 = EXTEND(n AS COUNT, avg AS AVG(signal)) ENCODE;\nMATERIALIZE V1;",
+	"V1 = MERGE(groupby: cell) ENCODE;\nMATERIALIZE V1;",
+	"V1 = GROUP(cell; g AS COUNTSAMP; region_aggregate: n AS COUNT, m AS MIN(p_value)) ENCODE;\nMATERIALIZE V1;",
+	"V1 = ORDER(cell DESC, dataType; top: 3; region_order: signal DESC; region_top: 5) ENCODE;\nMATERIALIZE V1;",
+	"V1 = UNION() ENCODE PEAKS;\nMATERIALIZE V1;",
+	"V1 = DIFFERENCE(joinby: cell; exact: true) ENCODE PEAKS;\nMATERIALIZE V1;",
+	"V1 = JOIN(MD(1), DLE(5000), UP; output: INT; joinby: cell) ANNOT ENCODE;\nMATERIALIZE V1;",
+	"V1 = MAP(c AS COUNT, s AS SUM(signal); joinby: cell) ANNOT ENCODE;\nMATERIALIZE V1;",
+	"V1 = COVER(2, ANY; groupby: cell; aggregate: a AS AVG(p_value)) ENCODE;\nMATERIALIZE V1;",
+	"V1 = HISTOGRAM(1, ALL) ENCODE;\nV2 = SUMMIT(2, 3) ENCODE;\nV3 = FLAT(ANY, ANY) ENCODE;\nMATERIALIZE V3;",
+}
+
+// TestFuzzSeedScriptsParse keeps the seed corpus honest: every seed script
+// must actually parse, so the fuzzer explores from valid ground.
+func TestFuzzSeedScriptsParse(t *testing.T) {
+	for i, s := range fuzzSeedScripts {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("seed script %d does not parse: %v\n%s", i, err, s)
+		}
+	}
+	// And the lexer agrees with the parser on all of them.
+	for i, s := range fuzzSeedScripts {
+		if _, err := lex(s); err != nil {
+			t.Errorf("seed script %d does not lex: %v", i, err)
+		}
+	}
+}
