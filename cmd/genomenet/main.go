@@ -78,7 +78,9 @@ func setupHost(args []string, out io.Writer) (http.Handler, string, error) {
 	}
 	published := 0
 	for _, e := range entries {
-		if !e.IsDir() {
+		// Dot-prefixed directories are crash leftovers of WriteDataset's
+		// atomic staging, never datasets.
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		sub := filepath.Join(*dataDir, e.Name())

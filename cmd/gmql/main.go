@@ -5,11 +5,18 @@
 //
 //	gmql -data DIR [-out DIR] [-mode stream|batch|serial] [-workers N]
 //	     [-binwidth N] [-no-optimizer] [-explain VAR] [-profile]
-//	     [-profile-json] SCRIPT.gmql
+//	     [-profile-json] [-query-deadline D] [-max-regions N] [-max-bytes N]
+//	     SCRIPT.gmql
 //
 // Every subdirectory of -data holding a schema.txt is loaded as a dataset
 // named after the subdirectory. Results of MATERIALIZE statements are
 // written under -out in the native layout.
+//
+// Query lifecycle governance: -query-deadline, -max-regions and -max-bytes
+// are per-query budgets enforced inside the engine; Ctrl-C (SIGINT) and
+// SIGTERM cancel the running query's workers before the process exits. The
+// exit code tells the outcomes apart: 1 is a generic failure, 3 a canceled or
+// deadline-exceeded query, 4 a budget kill.
 //
 // -explain prints the logical plan of one variable without executing.
 // -profile executes normally and additionally prints an EXPLAIN ANALYZE
@@ -22,12 +29,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"genogo/internal/engine"
@@ -38,13 +49,30 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gmql:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// exitCode distinguishes governance kills so shell scripts and the
+// differential harness can tell an interrupted query from a genuinely wrong
+// one: 1 generic failure, 3 canceled or deadline-exceeded, 4 budget-killed.
+func exitCode(err error) int {
+	reason, ok := engine.Killed(err)
+	switch {
+	case !ok:
+		return 1
+	case reason == "budget":
+		return 4
+	default:
+		return 3
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmql", flag.ContinueOnError)
 	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
 	outDir := fs.String("out", "results", "directory for materialized results")
@@ -56,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	profile := fs.Bool("profile", false, "print an EXPLAIN ANALYZE span tree per materialized variable")
 	profileJSON := fs.Bool("profile-json", false, "emit the profile (query_id + span tree per variable) as JSON instead of text")
 	format := fs.String("format", "native", "result format: native (GDM layout) or bed (one BED6 file per sample)")
+	queryDeadline := fs.Duration("query-deadline", 0, "per-query wall-clock budget (0 disables)")
+	maxRegions := fs.Int64("max-regions", 0, "per-query budget: max regions in any operator output (0 disables)")
+	maxBytes := fs.Int64("max-bytes", 0, "per-query budget: max resident bytes of operator outputs (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +110,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runner := &gmql.Runner{Config: cfg, Catalog: catalog, DisableOptimizer: *noOpt}
+	runner := &gmql.Runner{Config: cfg, Catalog: catalog, DisableOptimizer: *noOpt,
+		Limits: engine.Limits{
+			MaxOutputRegions: *maxRegions,
+			MaxResidentBytes: *maxBytes,
+			Deadline:         *queryDeadline,
+		}}
 
 	if *explain != "" {
 		fmt.Fprintln(out, runner.Explain(prog, *explain))
@@ -97,11 +133,24 @@ func run(args []string, out io.Writer) error {
 		spans   []*obs.Span
 	)
 	if profiled {
-		results, spans, err = runner.MaterializeProfiled(prog)
+		results, spans, err = runner.MaterializeProfiledContext(ctx, prog)
 	} else {
-		results, err = runner.Materialize(prog)
+		results, err = runner.MaterializeContext(ctx, prog)
 	}
 	if err != nil {
+		// A governance kill with -profile-json still emits machine-readable
+		// output — tools post-processing traces see why the run died rather
+		// than a bare non-zero exit.
+		if reason, ok := engine.Killed(err); ok && *profileJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				QueryID string `json:"query_id"`
+				Status  string `json:"status"`
+				Reason  string `json:"reason"`
+				Error   string `json:"error"`
+			}{runner.QueryID, string(gmql.KilledStatus(reason)), reason, err.Error()})
+		}
 		return err
 	}
 	if *profile && !*profileJSON {
@@ -213,7 +262,9 @@ func loadCatalog(dir string) (engine.MapCatalog, error) {
 	}
 	cat := engine.MapCatalog{}
 	for _, e := range entries {
-		if !e.IsDir() {
+		// Dot-prefixed directories are crash leftovers of WriteDataset's
+		// atomic staging, never datasets.
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		sub := filepath.Join(dir, e.Name())

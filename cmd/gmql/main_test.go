@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -53,7 +54,7 @@ func TestEndToEndDiskRoundTrip(t *testing.T) {
 	outDir := filepath.Join(t.TempDir(), "results")
 	script := writeScript(t, cliScript)
 	var out bytes.Buffer
-	if err := run([]string{"-data", data, "-out", outDir, script}, &out); err != nil {
+	if err := run(context.Background(), []string{"-data", data, "-out", outDir, script}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "RESULT:") {
@@ -88,7 +89,7 @@ func TestCLIModes(t *testing.T) {
 	for _, mode := range []string{"serial", "batch", "stream"} {
 		outDir := filepath.Join(t.TempDir(), mode)
 		var out bytes.Buffer
-		if err := run([]string{"-data", data, "-out", outDir, "-mode", mode, script}, &out); err != nil {
+		if err := run(context.Background(), []string{"-data", data, "-out", outDir, "-mode", mode, script}, &out); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 		ds, err := formats.ReadDataset(filepath.Join(outDir, "result"))
@@ -106,7 +107,7 @@ func TestCLIExplain(t *testing.T) {
 	data := writeRepo(t)
 	script := writeScript(t, cliScript)
 	var out bytes.Buffer
-	if err := run([]string{"-data", data, "-explain", "RESULT", script}, &out); err != nil {
+	if err := run(context.Background(), []string{"-data", data, "-explain", "RESULT", script}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, frag := range []string{"MAP", "SELECT", "SCAN ENCODE"} {
@@ -124,7 +125,7 @@ func TestMetricsCLIProfile(t *testing.T) {
 	outDir := filepath.Join(t.TempDir(), "results")
 	script := writeScript(t, cliScript)
 	var out bytes.Buffer
-	if err := run([]string{"-data", data, "-out", outDir, "-mode", "serial", "-profile", script}, &out); err != nil {
+	if err := run(context.Background(), []string{"-data", data, "-out", outDir, "-mode", "serial", "-profile", script}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -165,13 +166,13 @@ func TestCLIErrors(t *testing.T) {
 	}
 	cases = append(cases, []string{"-data", empty, script})
 	for _, args := range cases {
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
 	}
 	// Bad script contents.
 	bad := writeScript(t, "X = FROB() Y;")
-	if err := run([]string{"-data", data, bad}, &out); err == nil {
+	if err := run(context.Background(), []string{"-data", data, bad}, &out); err == nil {
 		t.Error("bad script accepted")
 	}
 }
@@ -191,7 +192,7 @@ func TestCLIBEDExport(t *testing.T) {
 	outDir := filepath.Join(t.TempDir(), "bedout")
 	script := writeScript(t, `X = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE X INTO x;`)
 	var out bytes.Buffer
-	if err := run([]string{"-data", data, "-out", outDir, "-format", "bed", script}, &out); err != nil {
+	if err := run(context.Background(), []string{"-data", data, "-out", outDir, "-format", "bed", script}, &out); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(filepath.Join(outDir, "x"))
@@ -229,7 +230,7 @@ func TestCLIBEDExport(t *testing.T) {
 		t.Error("sidecar metadata not exported")
 	}
 	// Unknown format rejected.
-	if err := run([]string{"-data", data, "-format", "tsv", script}, &out); err == nil {
+	if err := run(context.Background(), []string{"-data", data, "-format", "tsv", script}, &out); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -241,7 +242,7 @@ func TestTraceCLIProfileQueryID(t *testing.T) {
 	script := writeScript(t, cliScript)
 	var out bytes.Buffer
 	args := []string{"-data", data, "-out", filepath.Join(t.TempDir(), "r"), "-mode", "serial", "-profile", script}
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatal(err)
 	}
 	line, _, _ := strings.Cut(out.String(), "\n")
@@ -258,7 +259,7 @@ func TestTraceCLIProfileJSON(t *testing.T) {
 	script := writeScript(t, cliScript)
 	var out bytes.Buffer
 	args := []string{"-data", data, "-out", outDir, "-mode", "serial", "-profile-json", script}
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -291,4 +292,68 @@ func TestTraceCLIProfileJSON(t *testing.T) {
 		t.Errorf("span out = %ds/%dr, dataset = %ds/%dr",
 			root.SamplesOut, root.RegionsOut, len(ds.Samples), ds.NumRegions())
 	}
+}
+
+// TestGovernExitPaths: governance kills exit distinctly from generic
+// failures, and -profile-json still emits machine-readable output saying why
+// the run died.
+func TestGovernExitPaths(t *testing.T) {
+	data := writeRepo(t)
+
+	t.Run("budget kill exits 4", func(t *testing.T) {
+		outDir := filepath.Join(t.TempDir(), "results")
+		script := writeScript(t, cliScript)
+		var out bytes.Buffer
+		err := run(context.Background(), []string{"-data", data, "-out", outDir, "-max-regions", "1", script}, &out)
+		if err == nil {
+			t.Fatal("budget-killed run succeeded")
+		}
+		if code := exitCode(err); code != 4 {
+			t.Errorf("exitCode(%v) = %d, want 4", err, code)
+		}
+	})
+
+	t.Run("canceled context exits 3", func(t *testing.T) {
+		outDir := filepath.Join(t.TempDir(), "results")
+		script := writeScript(t, cliScript)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var out bytes.Buffer
+		err := run(ctx, []string{"-data", data, "-out", outDir, script}, &out)
+		if err == nil {
+			t.Fatal("canceled run succeeded")
+		}
+		if code := exitCode(err); code != 3 {
+			t.Errorf("exitCode(%v) = %d, want 3", err, code)
+		}
+	})
+
+	t.Run("profile-json reports the kill", func(t *testing.T) {
+		outDir := filepath.Join(t.TempDir(), "results")
+		script := writeScript(t, cliScript)
+		var out bytes.Buffer
+		err := run(context.Background(), []string{"-data", data, "-out", outDir,
+			"-profile-json", "-max-regions", "1", script}, &out)
+		if err == nil {
+			t.Fatal("budget-killed run succeeded")
+		}
+		var report struct {
+			QueryID string `json:"query_id"`
+			Status  string `json:"status"`
+			Reason  string `json:"reason"`
+			Error   string `json:"error"`
+		}
+		if jerr := json.Unmarshal(out.Bytes(), &report); jerr != nil {
+			t.Fatalf("kill report is not JSON: %v\n%s", jerr, out.String())
+		}
+		if report.Reason != "budget" || report.QueryID == "" || report.Error == "" {
+			t.Errorf("kill report = %+v, want reason=budget with id and error", report)
+		}
+	})
+
+	t.Run("generic failure exits 1", func(t *testing.T) {
+		if code := exitCode(fmt.Errorf("boom")); code != 1 {
+			t.Errorf("exitCode(generic) = %d, want 1", code)
+		}
+	})
 }

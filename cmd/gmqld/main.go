@@ -8,10 +8,22 @@
 //	gmqld -data DIR [-addr :8844] [-name node1] [-mode stream]
 //	      [-read-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
 //	      [-metrics-addr ADDR] [-slow-query 1s]
+//	      [-max-concurrent N] [-max-queue N] [-queue-timeout 10s]
+//	      [-query-deadline D] [-max-regions N] [-max-bytes N]
+//	      [-drain-timeout 30s]
 //
 // The timeout flags bound how long one HTTP exchange may hold a connection,
 // so a stalled or malicious peer cannot pin server resources forever. The
 // write timeout is the effective ceiling on query execution time per request.
+//
+// Query lifecycle governance: -max-concurrent enables admission control (at
+// most N queries execute at once; -max-queue more wait up to -queue-timeout;
+// everyone else is shed with 429 + Retry-After). -query-deadline,
+// -max-regions and -max-bytes are per-query budgets enforced inside the
+// engine — a query over budget dies with a typed error while other queries
+// keep running. A disconnected client cancels its query's workers. On
+// SIGINT/SIGTERM the node drains: new queries are refused (503), in-flight
+// ones get up to -drain-timeout to finish.
 //
 // Observability: /metrics (Prometheus text format), the /debug/queries live
 // query console (active and recent queries with drill-down to their span
@@ -24,18 +36,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/federation"
 	"genogo/internal/formats"
+	"genogo/internal/govern"
 	"genogo/internal/obs"
 )
 
@@ -47,25 +64,56 @@ func main() {
 }
 
 func run(args []string) error {
-	srv, metrics, err := setup(args, os.Stdout)
+	n, err := setup(args, os.Stdout)
 	if err != nil {
 		return err
 	}
-	if metrics != nil {
+	if n.metrics != nil {
 		go func() {
-			if err := metrics.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := n.metrics.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				slog.Error("metrics listener failed", "err", err)
 			}
 		}()
 	}
-	return srv.ListenAndServe()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- n.srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: the gate refuses new queries immediately (503), then
+	// http.Server.Shutdown waits for in-flight requests up to the drain
+	// budget. A clean drain exits 0.
+	slog.Info("shutdown signal: draining in-flight queries", "timeout", n.drainTimeout)
+	if n.gate != nil {
+		n.gate.BeginDrain()
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), n.drainTimeout)
+	defer cancel()
+	if n.metrics != nil {
+		_ = n.metrics.Shutdown(sctx)
+	}
+	return n.srv.Shutdown(sctx)
+}
+
+// node is a configured gmqld instance: the federation listener, the optional
+// separate operational listener, and the admission gate (nil when admission
+// control is off).
+type node struct {
+	srv          *http.Server
+	metrics      *http.Server
+	gate         *govern.Gate
+	drainTimeout time.Duration
 }
 
 // setup parses flags and builds the node's http.Server without binding a
-// socket, so tests can drive srv.Handler through httptest. The second server
-// is non-nil only when -metrics-addr asks for a separate operational
-// listener; otherwise /metrics and /debug/pprof share the main handler.
-func setup(args []string, out io.Writer) (*http.Server, *http.Server, error) {
+// socket, so tests can drive srv.Handler through httptest. node.metrics is
+// non-nil only when -metrics-addr asks for a separate operational listener;
+// otherwise /metrics and /debug/pprof share the main handler.
+func setup(args []string, out io.Writer) (*node, error) {
 	fs := flag.NewFlagSet("gmqld", flag.ContinueOnError)
 	dataDir := fs.String("data", ".", "directory holding dataset subdirectories")
 	addr := fs.String("addr", ":8844", "listen address")
@@ -76,8 +124,15 @@ func setup(args []string, out io.Writer) (*http.Server, *http.Server, error) {
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 disables)")
 	metricsAddr := fs.String("metrics-addr", "", "separate listen address for /metrics and /debug/pprof (default: serve them on -addr)")
 	slowQuery := fs.Duration("slow-query", 0, "log queries slower than this threshold with their hottest operators (0 disables)")
+	maxConcurrent := fs.Int64("max-concurrent", 0, "admission control: max concurrently executing queries (0 disables)")
+	maxQueue := fs.Int("max-queue", 16, "admission control: max queries waiting for a slot before shedding")
+	queueTimeout := fs.Duration("queue-timeout", 10*time.Second, "admission control: max wait in the queue before shedding (0 waits until the client gives up)")
+	queryDeadline := fs.Duration("query-deadline", 0, "per-query wall-clock budget (0: bounded only by -write-timeout)")
+	maxRegions := fs.Int64("max-regions", 0, "per-query budget: max regions in any operator output (0 disables)")
+	maxBytes := fs.Int64("max-bytes", 0, "per-query budget: max resident bytes of operator outputs (0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	cfg := engine.DefaultConfig()
 	switch *mode {
@@ -88,20 +143,34 @@ func setup(args []string, out io.Writer) (*http.Server, *http.Server, error) {
 	case "stream":
 		cfg.Mode = engine.ModeStream
 	default:
-		return nil, nil, fmt.Errorf("unknown mode %q", *mode)
+		return nil, fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	srv := federation.NewServer(*name, cfg)
 	if *slowQuery > 0 {
 		srv.SlowLog = &obs.SlowQueryLog{Threshold: *slowQuery, Logger: slog.Default()}
 	}
+	srv.Limits = engine.Limits{
+		MaxOutputRegions: *maxRegions,
+		MaxResidentBytes: *maxBytes,
+		Deadline:         *queryDeadline,
+	}
+	var gate *govern.Gate
+	if *maxConcurrent > 0 {
+		gate = govern.NewGate(*maxConcurrent, *maxQueue, *queueTimeout)
+		srv.Gate = gate
+		fmt.Fprintf(out, "admission: %d concurrent, queue %d, queue timeout %v\n",
+			*maxConcurrent, *maxQueue, *queueTimeout)
+	}
 	entries, err := os.ReadDir(*dataDir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	loaded := 0
 	for _, e := range entries {
-		if !e.IsDir() {
+		// Dot-prefixed directories are skipped: formats.WriteDataset stages
+		// new datasets in hidden temp dirs, and a crash may leave one behind.
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		sub := filepath.Join(*dataDir, e.Name())
@@ -110,14 +179,14 @@ func setup(args []string, out io.Writer) (*http.Server, *http.Server, error) {
 		}
 		ds, err := formats.ReadDataset(sub)
 		if err != nil {
-			return nil, nil, fmt.Errorf("loading %s: %w", sub, err)
+			return nil, fmt.Errorf("loading %s: %w", sub, err)
 		}
 		srv.AddDataset(ds)
 		fmt.Fprintf(out, "serving %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
 		loaded++
 	}
 	if loaded == 0 {
-		return nil, nil, fmt.Errorf("no datasets found under %s", *dataDir)
+		return nil, fmt.Errorf("no datasets found under %s", *dataDir)
 	}
 
 	mux := http.NewServeMux()
@@ -132,11 +201,16 @@ func setup(args []string, out io.Writer) (*http.Server, *http.Server, error) {
 		fmt.Fprintf(out, "metrics on %s\n", *metricsAddr)
 	}
 	fmt.Fprintf(out, "node %s listening on %s (%s backend)\n", *name, *addr, cfg.Mode)
-	return &http.Server{
-		Addr:         *addr,
-		Handler:      mux,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		IdleTimeout:  *idleTimeout,
-	}, metricsSrv, nil
+	return &node{
+		srv: &http.Server{
+			Addr:         *addr,
+			Handler:      mux,
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+			IdleTimeout:  *idleTimeout,
+		},
+		metrics:      metricsSrv,
+		gate:         gate,
+		drainTimeout: *drainTimeout,
+	}, nil
 }

@@ -34,12 +34,13 @@ func writeRepo(t *testing.T) string {
 func TestSetupServesFederationProtocol(t *testing.T) {
 	dir := writeRepo(t)
 	var out bytes.Buffer
-	srv, metrics, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial",
+	n, err := setup([]string{"-data", dir, "-addr", ":9999", "-mode", "serial",
 		"-read-timeout", "10s", "-write-timeout", "20s"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if metrics != nil {
+	srv := n.srv
+	if n.metrics != nil {
 		t.Errorf("no -metrics-addr given, but a separate metrics server was built")
 	}
 	if srv.Addr != ":9999" {
@@ -76,13 +77,13 @@ func TestSetupServesFederationProtocol(t *testing.T) {
 
 func TestSetupErrors(t *testing.T) {
 	var out bytes.Buffer
-	if _, _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
+	if _, err := setup([]string{"-data", t.TempDir()}, &out); err == nil {
 		t.Error("empty data dir accepted")
 	}
-	if _, _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
+	if _, err := setup([]string{"-data", writeRepo(t), "-mode", "quantum"}, &out); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if _, _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+	if _, err := setup([]string{"-data", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
 		t.Error("missing dir accepted")
 	}
 }
@@ -95,14 +96,14 @@ func TestSetupErrors(t *testing.T) {
 func TestMetricsEndpointOnMainAddr(t *testing.T) {
 	dir := writeRepo(t)
 	var out bytes.Buffer
-	srv, metrics, err := setup([]string{"-data", dir, "-mode", "serial", "-slow-query", "1ns"}, &out)
+	n, err := setup([]string{"-data", dir, "-mode", "serial", "-slow-query", "1ns"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if metrics != nil {
+	if n.metrics != nil {
 		t.Fatal("unexpected separate metrics server")
 	}
-	ts := httptest.NewServer(srv.Handler)
+	ts := httptest.NewServer(n.srv.Handler)
 	defer ts.Close()
 
 	c := federation.NewClient(ts.URL)
@@ -122,14 +123,14 @@ func TestMetricsEndpointOnMainAddr(t *testing.T) {
 		}
 	}
 
-	srv2, metrics2, err := setup([]string{"-data", dir, "-metrics-addr", ":9105"}, &out)
+	n2, err := setup([]string{"-data", dir, "-metrics-addr", ":9105"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if metrics2 == nil || metrics2.Addr != ":9105" {
-		t.Fatalf("metrics server = %+v, want listener on :9105", metrics2)
+	if n2.metrics == nil || n2.metrics.Addr != ":9105" {
+		t.Fatalf("metrics server = %+v, want listener on :9105", n2.metrics)
 	}
-	ts2 := httptest.NewServer(srv2.Handler)
+	ts2 := httptest.NewServer(n2.srv.Handler)
 	defer ts2.Close()
 	resp, err := http.Get(ts2.URL + "/metrics")
 	if err != nil {
@@ -139,7 +140,7 @@ func TestMetricsEndpointOnMainAddr(t *testing.T) {
 	if resp.StatusCode == http.StatusOK {
 		t.Error("main handler still serves /metrics despite -metrics-addr")
 	}
-	mts := httptest.NewServer(metrics2.Handler)
+	mts := httptest.NewServer(n2.metrics.Handler)
 	defer mts.Close()
 	if body := fetchMetrics(t, mts.URL+"/metrics"); !strings.Contains(body, "genogo_engine_queries_total") {
 		t.Error("separate metrics handler missing engine families")
@@ -171,11 +172,11 @@ func fetchMetrics(t *testing.T, url string) string {
 func TestConsoleEndpointOnMainAddr(t *testing.T) {
 	dir := writeRepo(t)
 	var out bytes.Buffer
-	srv, _, err := setup([]string{"-data", dir, "-mode", "serial"}, &out)
+	n, err := setup([]string{"-data", dir, "-mode", "serial"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.Handler)
+	ts := httptest.NewServer(n.srv.Handler)
 	defer ts.Close()
 
 	c := federation.NewClient(ts.URL)

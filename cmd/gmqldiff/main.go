@@ -9,27 +9,42 @@
 //	         [-federation] [-jobs N] [-tolerance T]
 //
 // The exit status is nonzero when any case diverges, so CI can gate on it;
-// the -report JSON artifact carries the full evidence either way.
+// the -report JSON artifact carries the full evidence either way. Exit codes:
+// 1 divergence or setup failure, 3 campaign interrupted (SIGINT/SIGTERM) —
+// the report still covers every case that completed before the interrupt.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"genogo/internal/difftest"
 )
 
+// errInterrupted marks a campaign cut short by a signal; main exits 3 so CI
+// and scripts can tell an aborted run from a diverging one.
+var errInterrupted = errors.New("campaign interrupted before completing every seed")
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gmqldiff:", err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmqldiff", flag.ContinueOnError)
 	seeds := fs.Int("seeds", 200, "number of generated scripts")
 	start := fs.Int64("start", 1, "first generator seed")
@@ -50,6 +65,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep := difftest.RunCampaign(difftest.CampaignOptions{
+		Context:         ctx,
 		Start:           *start,
 		Seeds:           *seeds,
 		DatasetSeed:     *dsSeed,
@@ -73,6 +89,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if rep.Canceled {
+		fmt.Fprintf(out, "campaign interrupted: %d of %d cases completed\n", rep.Completed, rep.Seeds)
+	}
 	fmt.Fprintf(out, "campaign: %d cases (seeds %d..%d), dataset seed %d\n",
 		rep.Seeds, rep.Start, rep.Start+int64(rep.Seeds)-1, rep.DatasetSeed)
 	fmt.Fprintf(out, "configs:  %v\n", rep.Configs)
@@ -104,6 +123,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(rep.Diverged) > 0 {
 		return fmt.Errorf("%d of %d cases diverged", len(rep.Diverged), rep.Seeds)
+	}
+	if rep.Canceled {
+		return errInterrupted
 	}
 	return nil
 }

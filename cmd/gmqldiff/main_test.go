@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,7 +16,7 @@ import (
 func TestRunSmallCampaign(t *testing.T) {
 	report := filepath.Join(t.TempDir(), "report.json")
 	var out bytes.Buffer
-	err := run([]string{"-seeds", "12", "-jobs", "2", "-report", report}, &out)
+	err := run(context.Background(), []string{"-seeds", "12", "-jobs", "2", "-report", report}, &out)
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
@@ -46,10 +48,44 @@ func TestRunSmallCampaign(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-seeds", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-seeds", "0"}, &out); err == nil {
 		t.Fatal("want error for -seeds 0")
 	}
-	if err := run([]string{"positional"}, &out); err == nil {
+	if err := run(context.Background(), []string{"positional"}, &out); err == nil {
 		t.Fatal("want error for positional arguments")
+	}
+}
+
+// TestRunInterrupted: a canceled context cuts the campaign short and the
+// distinct interrupted error (exit 3 in main) comes back, with the report
+// noting how far it got.
+func TestRunInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run(ctx, []string{"-seeds", "50", "-jobs", "2", "-report", report}, &out)
+	if !errors.Is(err, errInterrupted) {
+		t.Fatalf("err = %v, want errInterrupted", err)
+	}
+	data, rerr := os.ReadFile(report)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	var rep struct {
+		Canceled  bool `json:"canceled"`
+		Completed int  `json:"completed"`
+	}
+	if jerr := json.Unmarshal(data, &rep); jerr != nil {
+		t.Fatal(jerr)
+	}
+	if !rep.Canceled {
+		t.Errorf("report.canceled = false, want true")
+	}
+	if rep.Completed >= 50 {
+		t.Errorf("report.completed = %d, want < 50 for a pre-canceled campaign", rep.Completed)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("output does not mention the interrupt: %q", out.String())
 	}
 }

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"sync"
@@ -9,6 +10,11 @@ import (
 // CampaignOptions parametrizes a fuzzing campaign: Seeds consecutive
 // generator seeds starting at Start, each run through the full matrix.
 type CampaignOptions struct {
+	// Context, when non-nil, cancels the campaign between cases: workers
+	// stop picking up new seeds once it is done, finished cases are kept,
+	// and the report comes back marked Canceled. Nil means run to
+	// completion.
+	Context context.Context
 	// Start is the first generator seed; the campaign covers
 	// [Start, Start+Seeds).
 	Start int64
@@ -52,6 +58,11 @@ type Report struct {
 	// Federation reports whether the federation round-trip was sampled.
 	Federation bool    `json:"federation"`
 	Tolerance  float64 `json:"tolerance"`
+	// Canceled reports a campaign cut short by its Context; counts cover
+	// only the cases that actually ran.
+	Canceled bool `json:"canceled,omitempty"`
+	// Completed counts the cases that ran (equals Seeds unless Canceled).
+	Completed int `json:"completed"`
 }
 
 // RunCampaign runs a full campaign and aggregates the report.
@@ -69,6 +80,10 @@ func RunCampaign(opts CampaignOptions) *Report {
 	if jobs <= 0 {
 		jobs = 4
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cat := BuildCatalog(opts.DatasetSeed)
 	results := make([]*CaseResult, opts.Seeds)
 	var wg sync.WaitGroup
@@ -78,6 +93,9 @@ func RunCampaign(opts CampaignOptions) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				seed := opts.Start + int64(i)
 				co := Options{
 					DatasetSeed: opts.DatasetSeed,
@@ -89,8 +107,13 @@ func RunCampaign(opts CampaignOptions) *Report {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < opts.Seeds; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -112,7 +135,12 @@ func RunCampaign(opts CampaignOptions) *Report {
 	if opts.Federation {
 		rep.Configs = append(rep.Configs, "federation")
 	}
+	rep.Canceled = ctx.Err() != nil
 	for _, cr := range results {
+		if cr == nil { // seed never ran: campaign canceled
+			continue
+		}
+		rep.Completed++
 		for op, n := range cr.Ops {
 			rep.OpCoverage[op] += n
 		}

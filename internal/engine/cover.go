@@ -189,9 +189,11 @@ func Cover(cfg Config, ds *gdm.Dataset, args CoverArgs) (*gdm.Dataset, error) {
 		// contributing regions' attribute values.
 		var entries []intervals.Entry
 		var sources []*gdm.Region
+		var tick int
 		for _, m := range members {
 			lo, hi := m.ChromRange(tk.chrom)
 			for i := lo; i < hi; i++ {
+				cfg.tick(&tick)
 				r := &m.Regions[i]
 				entries = append(entries, intervals.Entry{
 					Start: r.Start, Stop: r.Stop, Payload: int32(len(sources))})

@@ -77,6 +77,17 @@ type Config struct {
 	// DESIGN.md invariants on every operator of every plan, not just
 	// hand-picked ones. Off in production: it re-walks every output.
 	ValidateOutputs bool
+	// Stall is the stuck-operator/slow-consumer chaos hook: when non-nil it
+	// runs before every forEach work item. done is the governed session's
+	// cancellation signal (nil for ungoverned sessions), so an injected
+	// stall that blocks on done still observes cancellation — which is what
+	// makes the cancellation-latency bound deterministically testable.
+	// Never set in production.
+	Stall func(done <-chan struct{})
+	// gov is the query lifecycle governor (see govern.go), installed by
+	// Session.Govern. It is a pointer so every kernel's by-value Config copy
+	// shares it; nil means ungoverned.
+	gov *governor
 }
 
 // DefaultConfig returns the recommended parallel configuration.
@@ -127,10 +138,18 @@ type workerPanic struct {
 // panics and forEach re-raises the first one on the calling goroutine —
 // where Session.Eval converts it into a query error: one bad sample fails
 // the query, not the server.
+// Every work item additionally passes the governance gate (cancellation check
+// plus the chaos stall hook), so a canceled query stops between items on all
+// backends; once the governor observes the kill, the dispatch loop stops
+// handing out work so the remaining items are never started.
 func (c Config) forEach(n int, fn func(i int)) {
+	gated := c.gov != nil || c.Stall != nil
 	w := c.effectiveWorkers(n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if gated {
+				c.itemGate()
+			}
 			fn(i)
 		}
 		return
@@ -154,12 +173,18 @@ func (c Config) forEach(n int, fn func(i int)) {
 							})
 						}
 					}()
+					if gated {
+						c.itemGate()
+					}
 					fn(i)
 				}()
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if c.gov != nil && c.gov.dead.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)

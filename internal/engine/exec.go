@@ -68,6 +68,7 @@ func (s *Session) Eval(plan Node) (ds *gdm.Dataset, err error) {
 		if r := recover(); r != nil {
 			ds, err = nil, recoveredError(r)
 		}
+		observeKill(err)
 	}()
 	metricQueries.With(s.e.cfg.Mode.String()).Inc()
 	return s.e.eval(plan, nil)
@@ -92,6 +93,7 @@ func (s *Session) EvalProfiledLive(plan Node, publish func(*obs.Span)) (ds *gdm.
 		if r := recover(); r != nil {
 			ds, root, err = nil, nil, recoveredError(r)
 		}
+		observeKill(err)
 	}()
 	metricQueries.With(s.e.cfg.Mode.String()).Inc()
 	sp := newSpan(plan, s.e.cfg)
@@ -105,9 +107,17 @@ func (s *Session) EvalProfiledLive(plan Node, publish func(*obs.Span)) (ds *gdm.
 	return ds, sp, nil
 }
 
-// recoveredError renders a recovered panic value as a query error.
+// recoveredError renders a recovered panic value as a query error. A
+// governance kill (govPanic) — raised directly or trapped inside a worker —
+// surfaces as its typed lifecycle error, not as a panic report.
 func recoveredError(r any) error {
+	if gp, ok := r.(govPanic); ok {
+		return gp.err
+	}
 	if wp, ok := r.(*workerPanic); ok {
+		if gp, ok := wp.val.(govPanic); ok {
+			return gp.err
+		}
 		return fmt.Errorf("engine: panic in parallel worker: %v\n%s", wp.val, wp.stack)
 	}
 	return fmt.Errorf("engine: panic during evaluation: %v\n%s", r, debug.Stack())
@@ -127,6 +137,7 @@ type evaluator struct {
 // the whole subtree runs untraced — the Eval fast path pays one nil check per
 // node and nothing else.
 func (e *evaluator) eval(n Node, sp *obs.Span) (*gdm.Dataset, error) {
+	e.cfg.gov.check()
 	start := time.Now()
 	e.mu.Lock()
 	if ds, ok := e.cache[n]; ok {
@@ -148,6 +159,15 @@ func (e *evaluator) eval(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 		if verr := ValidateOperatorOutput(opName(n), ds); verr != nil {
 			return nil, verr
 		}
+	}
+	// Budgets are enforced at operator boundaries: the offending operator is
+	// known here, and a runaway output is killed before the next operator
+	// amplifies it.
+	if berr := e.cfg.gov.noteOutput(n, ds); berr != nil {
+		if sp != nil {
+			sp.Finish(start)
+		}
+		return nil, berr
 	}
 	e.mu.Lock()
 	e.cache[n] = ds

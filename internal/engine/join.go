@@ -191,7 +191,9 @@ func Join(cfg Config, left, right *gdm.Dataset, args JoinArgs) (*gdm.Dataset, er
 				maxRightLen = ln
 			}
 		}
+		var tick int
 		for li := cs.lo; li < cs.hi; li++ {
+			cfg.tick(&tick)
 			anchor := &l.Regions[li]
 			for _, cand := range joinCandidates(args.Pred, anchor, rightEntries, maxRightLen) {
 				er := &r.Regions[cand.entry.Payload]

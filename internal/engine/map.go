@@ -96,7 +96,9 @@ func Map(cfg Config, ref, exp *gdm.Dataset, args MapArgs) (*gdm.Dataset, error) 
 		tk := tasks[ti]
 		st := states[tk.pair]
 		r, e := st.r, st.e
+		var tick int
 		feed := func(refIdx, expIdx int32) {
+			cfg.tick(&tick)
 			rr := &r.Regions[refIdx]
 			er := &e.Regions[expIdx]
 			if !rr.Strand.Compatible(er.Strand) {

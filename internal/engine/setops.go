@@ -75,6 +75,7 @@ func Difference(cfg Config, left, right *gdm.Dataset, args DifferenceArgs) (*gdm
 		src := left.Samples[i]
 		negatives := rightGroups[groupKey(src.Meta, args.JoinBy)]
 		drop := make([]bool, len(src.Regions))
+		var tick int
 		for _, cs := range chromSpans(src) {
 			leftEntries := chromEntries(src, cs.lo, cs.hi)
 			for _, neg := range negatives {
@@ -84,6 +85,7 @@ func Difference(cfg Config, left, right *gdm.Dataset, args DifferenceArgs) (*gdm
 				}
 				negEntries := chromEntries(neg, nlo, nhi)
 				intervals.SweepOverlaps(leftEntries, negEntries, func(l, r intervals.Entry) bool {
+					cfg.tick(&tick)
 					lr := &src.Regions[l.Payload]
 					rr := &neg.Regions[r.Payload]
 					if !lr.Strand.Compatible(rr.Strand) {

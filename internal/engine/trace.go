@@ -18,6 +18,10 @@ var (
 		"Plan subtrees answered from the session result cache instead of executing.")
 	metricWorkersBusy = obs.Default().Gauge("genogo_engine_workers_busy",
 		"Worker-pool goroutines currently executing operator kernels.")
+	metricCanceled = obs.Default().CounterVec("genogo_govern_queries_canceled_total",
+		"Queries killed by lifecycle governance, by reason (canceled, deadline).", "reason")
+	metricBudgetKills = obs.Default().Counter("genogo_govern_queries_budget_exceeded_total",
+		"Queries killed for exceeding a resource budget (output regions or resident bytes).")
 )
 
 // opName is the span operator name for a plan node.

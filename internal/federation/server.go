@@ -13,6 +13,7 @@ package federation
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -23,6 +24,7 @@ import (
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
 	"genogo/internal/gmql"
+	"genogo/internal/govern"
 	"genogo/internal/obs"
 )
 
@@ -112,6 +114,16 @@ type Server struct {
 	// /debug/queries console; nil means the process-wide obs.Queries(). Set
 	// it before serving.
 	Queries *obs.QueryRegistry
+
+	// Gate, when non-nil, admission-controls /query: over-capacity requests
+	// queue in the gate and are shed with 429 + Retry-After (503 while
+	// draining). Set it before serving.
+	Gate *govern.Gate
+
+	// Limits are the per-query resource budgets applied to every execution.
+	// The zero value disables budgets; cancellation (client disconnect) is
+	// always honored.
+	Limits engine.Limits
 }
 
 // queries resolves the console registry.
@@ -295,6 +307,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.queries().Finish(entry, obs.StatusFailed, msg)
 		writeJSON(w, status, QueryResponse{Error: msg, QueryID: qid, Node: s.name})
 	}
+	if s.Gate != nil {
+		release, gerr := s.Gate.Acquire(r.Context(), 1)
+		if gerr != nil {
+			var serr *govern.ShedError
+			reason := "shed"
+			if errors.As(gerr, &serr) {
+				reason = serr.Reason
+			}
+			s.queries().Finish(entry, obs.StatusShed, reason)
+			s.SlowLog.ObserveKilled(qid, req.Var, string(obs.StatusShed), reason, 0)
+			w.Header().Set("Content-Type", "application/json")
+			if govern.WriteShed(w, gerr) {
+				// Status and Retry-After are out; the JSON body still carries
+				// the reason for protocol-level clients.
+				_ = json.NewEncoder(w).Encode(QueryResponse{Error: gerr.Error(), QueryID: qid, Node: s.name})
+				return
+			}
+			fail(http.StatusServiceUnavailable, gerr.Error())
+			return
+		}
+		defer release()
+	}
 	prog, err := gmql.Parse(req.Script)
 	if err != nil {
 		fail(http.StatusOK, err.Error())
@@ -312,14 +346,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	runner := &gmql.Runner{
 		Config: s.cfg, Catalog: catalog, SlowLog: s.SlowLog,
-		QueryID: qid, SpanObserver: entry.SetRoot,
+		QueryID: qid, SpanObserver: entry.SetRoot, Limits: s.Limits,
 	}
 	metricNodeQueries.Inc()
 	// Always profiled: the span tree feeds the live console and the slow
 	// log on every execution (profiling overhead is within noise, see
 	// EXPERIMENTS.md); the tree goes on the wire only when asked for.
-	ds, sp, err := runner.EvalProfiled(prog, req.Var)
+	// Evaluation is governed by the request context, so a disconnected (or
+	// deadline-killed) requester cancels the engine workers instead of
+	// leaving them burning CPU on an answer nobody will read.
+	ds, sp, err := runner.EvalProfiledContext(r.Context(), prog, req.Var)
 	if err != nil {
+		if reason, ok := engine.Killed(err); ok {
+			s.queries().Finish(entry, gmql.KilledStatus(reason), reason+": "+err.Error())
+			writeJSON(w, http.StatusOK, QueryResponse{Error: err.Error(), QueryID: qid, Node: s.name})
+			return
+		}
 		fail(http.StatusOK, err.Error())
 		return
 	}

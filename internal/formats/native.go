@@ -138,21 +138,55 @@ func ReadMeta(r io.Reader) (*gdm.Metadata, error) {
 }
 
 // WriteDataset materializes a dataset into dir using the native layout,
-// creating the directory as needed. Existing files of a previous
-// materialization with the same sample IDs are overwritten.
+// atomically: every file is staged in a hidden sibling directory
+// (".<name>.tmp*") and fsynced, then the staged directory is renamed into
+// place in one step. A process killed mid-write can therefore never leave a
+// half-readable dataset at dir — readers see either the previous
+// materialization in full or the new one, nothing in between. Leftover
+// hidden staging directories from a crash are ignored by the repository
+// loaders (they skip dot-prefixed entries) and are safe to delete.
 func WriteDataset(dir string, ds *gdm.Dataset) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	dir = filepath.Clean(dir)
+	parent, base := filepath.Dir(dir), filepath.Base(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
-	sf, err := os.Create(filepath.Join(dir, "schema.txt"))
+	tmp, err := os.MkdirTemp(parent, "."+base+".tmp")
 	if err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
-	if err := WriteSchema(sf, ds.Schema); err != nil {
-		sf.Close()
+	defer os.RemoveAll(tmp) // no-op once renamed into place
+	if err := writeDatasetFiles(tmp, ds); err != nil {
 		return err
 	}
-	if err := sf.Close(); err != nil {
+	if err := syncDir(tmp); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	// Swap the staged directory into place. A previous materialization is
+	// moved aside under another hidden name first so the final rename is a
+	// single atomic step, then discarded.
+	old := filepath.Join(parent, "."+base+".old")
+	if err := os.RemoveAll(old); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	if err := os.Rename(dir, old); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	if err := os.RemoveAll(old); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	return syncDir(parent)
+}
+
+// writeDatasetFiles writes the native layout (schema plus per-sample region
+// and metadata files) into an existing directory.
+func writeDatasetFiles(dir string, ds *gdm.Dataset) error {
+	if err := writeFileWith(filepath.Join(dir, "schema.txt"), func(w io.Writer) error {
+		return WriteSchema(w, ds.Schema)
+	}); err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
 	for _, s := range ds.Samples {
@@ -170,6 +204,9 @@ func WriteDataset(dir string, ds *gdm.Dataset) error {
 	return nil
 }
 
+// writeFileWith creates path, streams fn's output into it and fsyncs before
+// closing, so the bytes are durable by the time the staged directory is
+// renamed into place.
 func writeFileWith(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -179,7 +216,25 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	return f.Close()
+}
+
+// syncDir fsyncs a directory, making the renames and file creations inside
+// it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ReadDataset loads a native-layout dataset directory. The dataset name is

@@ -1,7 +1,9 @@
 package gmql
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"genogo/internal/engine"
 	"genogo/internal/gdm"
@@ -36,6 +38,30 @@ type Runner struct {
 	// execution begins — the hook a live query registry uses to show
 	// in-flight progress. Observers must read spans via obs.Span.Snapshot.
 	SpanObserver func(*obs.Span)
+	// Limits are the per-query resource budgets enforced by the Context
+	// variants (engine.Limits semantics; the zero value disables budgets but
+	// still honors cancellation).
+	Limits engine.Limits
+}
+
+// KilledStatus maps an engine kill reason (engine.Killed) to the console
+// status a server should record: canceled and deadline kills surface as
+// StatusCanceled; budget kills are query failures.
+func KilledStatus(reason string) obs.QueryStatus {
+	if reason == "budget" {
+		return obs.StatusFailed
+	}
+	return obs.StatusCanceled
+}
+
+// queryErr wraps an evaluation error, reporting governance kills to the slow
+// log first: a killed query is an operational event worth a record even when
+// it never crossed the slow threshold.
+func (r *Runner) queryErr(name string, err error, took time.Duration) error {
+	if reason, ok := engine.Killed(err); ok {
+		r.SlowLog.ObserveKilled(r.QueryID, name, string(KilledStatus(reason)), reason, took)
+	}
+	return fmt.Errorf("gmql: evaluating %s: %w", name, err)
 }
 
 // NewRunner returns a Runner with the default parallel configuration.
@@ -55,9 +81,20 @@ func (r *Runner) plan(p *Program, name string) engine.Node {
 // Eval evaluates one variable of the program (whether or not it is
 // materialized), returning its dataset.
 func (r *Runner) Eval(p *Program, name string) (*gdm.Dataset, error) {
-	ds, err := engine.Run(r.Config, r.plan(p, name), r.Catalog)
+	return r.EvalContext(context.Background(), p, name)
+}
+
+// EvalContext is Eval under lifecycle governance: evaluation stops with a
+// typed error when ctx is canceled, a deadline expires, or a Limits budget
+// trips.
+func (r *Runner) EvalContext(ctx context.Context, p *Program, name string) (*gdm.Dataset, error) {
+	start := time.Now()
+	session := engine.NewSession(r.Config, r.Catalog)
+	stop := session.Govern(ctx, r.Limits)
+	defer stop()
+	ds, err := session.Eval(r.plan(p, name))
 	if err != nil {
-		return nil, fmt.Errorf("gmql: evaluating %s: %w", name, err)
+		return nil, r.queryErr(name, err, time.Since(start))
 	}
 	out := ds.Clone()
 	out.Name = name
@@ -69,10 +106,18 @@ func (r *Runner) Eval(p *Program, name string) (*gdm.Dataset, error) {
 // EXPLAIN ANALYZE path. The root span is published to SpanObserver (when
 // set) before execution starts.
 func (r *Runner) EvalProfiled(p *Program, name string) (*gdm.Dataset, *obs.Span, error) {
+	return r.EvalProfiledContext(context.Background(), p, name)
+}
+
+// EvalProfiledContext is EvalProfiled under lifecycle governance.
+func (r *Runner) EvalProfiledContext(ctx context.Context, p *Program, name string) (*gdm.Dataset, *obs.Span, error) {
+	start := time.Now()
 	session := engine.NewSession(r.Config, r.Catalog)
+	stop := session.Govern(ctx, r.Limits)
+	defer stop()
 	ds, sp, err := session.EvalProfiledLive(r.plan(p, name), r.SpanObserver)
 	if err != nil {
-		return nil, nil, fmt.Errorf("gmql: evaluating %s: %w", name, err)
+		return nil, nil, r.queryErr(name, err, time.Since(start))
 	}
 	r.SlowLog.ObserveQuery(r.QueryID, name, sp)
 	out := ds.Clone()
@@ -88,22 +133,38 @@ func (r *Runner) EvalProfiled(p *Program, name string) (*gdm.Dataset, *obs.Span,
 // Note the laziness of GMQL: variables that no materialized result depends
 // on are never evaluated.
 func (r *Runner) Materialize(p *Program) ([]Result, error) {
+	return r.MaterializeContext(context.Background(), p)
+}
+
+// MaterializeContext is Materialize under lifecycle governance; one
+// context/budget binding spans every target (the session's resident-byte
+// budget covers the whole script, matching the shared result cache).
+func (r *Runner) MaterializeContext(ctx context.Context, p *Program) ([]Result, error) {
 	// Profiling is only paid when the slow-query log needs spans to report.
-	results, _, err := r.materialize(p, r.SlowLog != nil && r.SlowLog.Threshold > 0)
+	results, _, err := r.materialize(ctx, p, r.SlowLog != nil && r.SlowLog.Threshold > 0)
 	return results, err
 }
 
 // MaterializeProfiled is Materialize plus one span tree per materialized
 // target, in statement order.
 func (r *Runner) MaterializeProfiled(p *Program) ([]Result, []*obs.Span, error) {
-	return r.materialize(p, true)
+	return r.materialize(context.Background(), p, true)
 }
 
-func (r *Runner) materialize(p *Program, profile bool) ([]Result, []*obs.Span, error) {
+// MaterializeProfiledContext is MaterializeProfiled under lifecycle
+// governance.
+func (r *Runner) MaterializeProfiledContext(ctx context.Context, p *Program) ([]Result, []*obs.Span, error) {
+	return r.materialize(ctx, p, true)
+}
+
+func (r *Runner) materialize(ctx context.Context, p *Program, profile bool) ([]Result, []*obs.Span, error) {
 	if len(p.Materialized) == 0 {
 		return nil, nil, fmt.Errorf("gmql: program materializes nothing")
 	}
+	start := time.Now()
 	session := engine.NewSession(r.Config, r.Catalog)
+	stop := session.Govern(ctx, r.Limits)
+	defer stop()
 	// Optimizing each target's plan in place keeps node identity for shared
 	// subtrees, so the session cache still deduplicates their execution.
 	results := make([]Result, 0, len(p.Materialized))
@@ -118,6 +179,9 @@ func (r *Runner) materialize(p *Program, profile bool) ([]Result, []*obs.Span, e
 			ds, err = session.Eval(r.plan(p, m.Var))
 		}
 		if err != nil {
+			if reason, ok := engine.Killed(err); ok {
+				r.SlowLog.ObserveKilled(r.QueryID, m.Var, string(KilledStatus(reason)), reason, time.Since(start))
+			}
 			return nil, nil, fmt.Errorf("gmql: materializing %s: %w", m.Var, err)
 		}
 		r.SlowLog.ObserveQuery(r.QueryID, m.Var, sp)

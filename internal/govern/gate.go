@@ -1,0 +1,319 @@
+// Package govern implements server-side admission control for query
+// execution: a weighted semaphore with a bounded FIFO wait queue,
+// queue-timeout shedding, and a graceful-shutdown drain mode.
+//
+// The gate realizes the backpressure discipline of production dataflow
+// engines for the gmqld and federation servers: at most Capacity units of
+// query weight execute concurrently, at most MaxQueue callers wait, and
+// everyone else is shed immediately with a typed error carrying a
+// Retry-After hint — an overloaded server answers 429 in microseconds
+// instead of accumulating goroutines until the kernel OOM-kills it.
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Shed reasons, recorded in metrics and consoles.
+const (
+	ReasonQueueFull    = "queue_full"
+	ReasonQueueTimeout = "queue_timeout"
+	ReasonDraining     = "draining"
+	ReasonClientGone   = "client_gone"
+)
+
+// ErrShed is the sentinel all admission rejections unwrap to.
+var ErrShed = errors.New("govern: query shed")
+
+// ShedError is the typed admission rejection: why the query was not admitted
+// and when the client should retry.
+type ShedError struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// RetryAfter is the suggested client backoff; zero means "do not retry"
+	// (the server is draining for shutdown).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("govern: query shed (%s)", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) work.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// waiter is one queued admission request.
+type waiter struct {
+	weight int64
+	// ready receives exactly once: nil when admitted, a *ShedError when the
+	// gate sheds the waiter (drain). Buffered so the granter never blocks.
+	ready chan error
+}
+
+// Gate is the weighted admission semaphore. Construct with NewGate; the zero
+// value is unusable.
+type Gate struct {
+	capacity     int64
+	maxQueue     int
+	queueTimeout time.Duration
+	retryAfter   time.Duration
+
+	mu       sync.Mutex
+	inFlight int64
+	queue    []*waiter
+	draining bool
+	idle     chan struct{} // closed when draining and the gate is empty
+}
+
+// NewGate builds a gate admitting at most capacity units of concurrent query
+// weight, queueing at most maxQueue callers for up to queueTimeout each.
+// capacity < 1 is raised to 1; maxQueue < 0 is treated as 0 (no queue);
+// queueTimeout <= 0 means queued callers wait until admitted or their
+// context dies.
+func NewGate(capacity int64, maxQueue int, queueTimeout time.Duration) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	retry := queueTimeout
+	if retry <= 0 {
+		retry = time.Second
+	}
+	return &Gate{
+		capacity:     capacity,
+		maxQueue:     maxQueue,
+		queueTimeout: queueTimeout,
+		retryAfter:   retry,
+		idle:         make(chan struct{}),
+	}
+}
+
+// Capacity reports the configured concurrent weight limit.
+func (g *Gate) Capacity() int64 { return g.capacity }
+
+// InFlight reports the admitted weight currently executing.
+func (g *Gate) InFlight() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inFlight
+}
+
+// QueueDepth reports how many callers are waiting.
+func (g *Gate) QueueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// Acquire admits weight units of work, blocking in the bounded FIFO queue
+// when the gate is full. It returns a release function on admission and a
+// *ShedError when the query must be rejected: queue full, queue timeout,
+// gate draining, or ctx canceled while waiting. Weights above capacity are
+// clamped, so a maximally heavy query can still run — alone.
+func (g *Gate) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		metricShed.With(ReasonDraining).Inc()
+		return nil, &ShedError{Reason: ReasonDraining}
+	}
+	if g.inFlight+weight <= g.capacity && len(g.queue) == 0 {
+		g.inFlight += weight
+		g.mu.Unlock()
+		metricAdmitted.Inc()
+		metricInFlight.Add(weight)
+		return func() { g.release(weight) }, nil
+	}
+	if len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		metricShed.With(ReasonQueueFull).Inc()
+		return nil, &ShedError{Reason: ReasonQueueFull, RetryAfter: g.retryAfter}
+	}
+	w := &waiter{weight: weight, ready: make(chan error, 1)}
+	g.queue = append(g.queue, w)
+	depth := len(g.queue)
+	g.mu.Unlock()
+	metricQueued.Inc()
+	metricQueueDepth.Set(int64(depth))
+
+	var timeout <-chan time.Time
+	if g.queueTimeout > 0 {
+		timer := time.NewTimer(g.queueTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case gerr := <-w.ready:
+		if gerr != nil {
+			var serr *ShedError
+			if errors.As(gerr, &serr) {
+				metricShed.With(serr.Reason).Inc()
+			}
+			return nil, gerr
+		}
+		metricAdmitted.Inc()
+		metricInFlight.Add(weight)
+		return func() { g.release(weight) }, nil
+	case <-timeout:
+		return nil, g.abandon(w, &ShedError{Reason: ReasonQueueTimeout, RetryAfter: g.retryAfter})
+	case <-ctx.Done():
+		return nil, g.abandon(w, &ShedError{Reason: ReasonClientGone})
+	}
+}
+
+// abandon removes a waiter that gave up (timeout or dead client). If the
+// grant raced the give-up and won, the admission is surrendered back.
+func (g *Gate) abandon(w *waiter, shed *ShedError) error {
+	g.mu.Lock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			depth := len(g.queue)
+			g.mu.Unlock()
+			metricQueueDepth.Set(int64(depth))
+			metricShed.With(shed.Reason).Inc()
+			return shed
+		}
+	}
+	g.mu.Unlock()
+	// Not queued anymore: the granter already handed us the slot (or a shed
+	// verdict). Honor whichever message is in the channel.
+	if gerr := <-w.ready; gerr != nil {
+		var serr *ShedError
+		if errors.As(gerr, &serr) {
+			metricShed.With(serr.Reason).Inc()
+		}
+		return gerr
+	}
+	// Admitted in the race: surrender the slot and shed anyway — the caller
+	// is gone.
+	metricAdmitted.Inc()
+	metricInFlight.Add(w.weight)
+	g.release(w.weight)
+	metricShed.With(shed.Reason).Inc()
+	return shed
+}
+
+// release returns weight units and promotes queued waiters FIFO.
+func (g *Gate) release(weight int64) {
+	metricInFlight.Add(-weight)
+	g.mu.Lock()
+	g.inFlight -= weight
+	granted := g.promoteLocked()
+	idle := g.draining && g.inFlight == 0
+	var idleCh chan struct{}
+	if idle {
+		idleCh = g.idle
+	}
+	depth := len(g.queue)
+	g.mu.Unlock()
+	metricQueueDepth.Set(int64(depth))
+	for _, w := range granted {
+		w.ready <- nil
+	}
+	if idleCh != nil {
+		select {
+		case <-idleCh:
+		default:
+			close(idleCh)
+		}
+	}
+}
+
+// promoteLocked admits queued waiters in FIFO order while they fit. Called
+// with g.mu held; the ready signals are delivered by the caller after
+// unlocking.
+func (g *Gate) promoteLocked() []*waiter {
+	var granted []*waiter
+	for len(g.queue) > 0 && !g.draining {
+		w := g.queue[0]
+		if g.inFlight+w.weight > g.capacity {
+			break
+		}
+		g.inFlight += w.weight
+		g.queue = g.queue[1:]
+		granted = append(granted, w)
+	}
+	return granted
+}
+
+// BeginDrain switches the gate to shutdown mode: queued waiters are shed and
+// every later Acquire is rejected with ReasonDraining, while already-admitted
+// queries keep their slots until they release. Idempotent.
+func (g *Gate) BeginDrain() {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return
+	}
+	g.draining = true
+	shed := g.queue
+	g.queue = nil
+	idle := g.inFlight == 0
+	var idleCh chan struct{}
+	if idle {
+		idleCh = g.idle
+	}
+	g.mu.Unlock()
+	metricQueueDepth.Set(0)
+	for _, w := range shed {
+		w.ready <- &ShedError{Reason: ReasonDraining}
+	}
+	if idleCh != nil {
+		select {
+		case <-idleCh:
+		default:
+			close(idleCh)
+		}
+	}
+}
+
+// Drained blocks until every admitted query has released its slot after
+// BeginDrain, or ctx expires.
+func (g *Gate) Drained(ctx context.Context) error {
+	select {
+	case <-g.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WriteShed writes the HTTP rejection for a shed error — 429 Too Many
+// Requests with a Retry-After header for transient overload, 503 Service
+// Unavailable when the server is draining — and reports whether err was a
+// shed error at all. The body is left to the caller.
+func WriteShed(w http.ResponseWriter, err error) (handled bool) {
+	var serr *ShedError
+	if !errors.As(err, &serr) {
+		return false
+	}
+	if serr.Reason == ReasonDraining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return true
+	}
+	if serr.RetryAfter > 0 {
+		secs := int(serr.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(http.StatusTooManyRequests)
+	return true
+}

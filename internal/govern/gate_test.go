@@ -1,0 +1,254 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGovernGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(2, 0, 0)
+	r1, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+	// Full, no queue: immediate shed.
+	if _, err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	var serr *ShedError
+	_, err = g.Acquire(context.Background(), 1)
+	if !errors.As(err, &serr) || serr.Reason != ReasonQueueFull {
+		t.Fatalf("want queue_full shed, got %v", err)
+	}
+	r1()
+	r2()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("in-flight after release = %d, want 0", got)
+	}
+}
+
+func TestGovernGateQueueFIFOPromotion(t *testing.T) {
+	g := NewGate(1, 2, 0)
+	r1, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type grant struct {
+		idx int
+		rel func()
+	}
+	grants := make(chan grant, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			grants <- grant{i, rel}
+		}()
+		// Serialize enqueue order so FIFO is observable.
+		for g.QueueDepth() <= i {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r1()
+	first := <-grants
+	if first.idx != 0 {
+		t.Fatalf("promotion order: waiter %d admitted first, want 0", first.idx)
+	}
+	first.rel()
+	second := <-grants
+	second.rel()
+	wg.Wait()
+	if g.InFlight() != 0 || g.QueueDepth() != 0 {
+		t.Fatalf("gate not empty after drain: inflight=%d queue=%d", g.InFlight(), g.QueueDepth())
+	}
+}
+
+func TestGovernGateQueueTimeout(t *testing.T) {
+	g := NewGate(1, 4, 20*time.Millisecond)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = g.Acquire(context.Background(), 1)
+	var serr *ShedError
+	if !errors.As(err, &serr) || serr.Reason != ReasonQueueTimeout {
+		t.Fatalf("want queue_timeout shed, got %v", err)
+	}
+	if serr.RetryAfter <= 0 {
+		t.Fatalf("queue_timeout shed must carry a Retry-After hint, got %v", serr.RetryAfter)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("queue timeout took %v", waited)
+	}
+	if g.QueueDepth() != 0 {
+		t.Fatalf("timed-out waiter still queued: depth=%d", g.QueueDepth())
+	}
+}
+
+func TestGovernGateClientGone(t *testing.T) {
+	g := NewGate(1, 4, 0)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 1)
+		done <- err
+	}()
+	for g.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err = <-done
+	var serr *ShedError
+	if !errors.As(err, &serr) || serr.Reason != ReasonClientGone {
+		t.Fatalf("want client_gone shed, got %v", err)
+	}
+}
+
+func TestGovernGateWeightClamping(t *testing.T) {
+	g := NewGate(4, 0, 0)
+	// Heavier than capacity: clamped, runs alone.
+	rel, err := g.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InFlight() != 4 {
+		t.Fatalf("in-flight = %d, want clamped 4", g.InFlight())
+	}
+	if _, err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("want shed while clamped query holds the gate, got %v", err)
+	}
+	rel()
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight after release = %d, want 0", g.InFlight())
+	}
+}
+
+func TestGovernGateDrain(t *testing.T) {
+	g := NewGate(1, 4, 0)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background(), 1)
+		queued <- err
+	}()
+	for g.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	g.BeginDrain()
+	// Queued waiter is shed immediately.
+	var serr *ShedError
+	if err := <-queued; !errors.As(err, &serr) || serr.Reason != ReasonDraining {
+		t.Fatalf("want draining shed for queued waiter, got %v", err)
+	}
+	// New arrivals are refused.
+	if _, err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("want shed during drain, got %v", err)
+	}
+	// Drained only after the in-flight query releases.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := g.Drained(ctx); err == nil {
+		t.Fatal("Drained returned before the in-flight query released")
+	}
+	cancel()
+	rel()
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := g.Drained(ctx); err != nil {
+		t.Fatalf("Drained after release: %v", err)
+	}
+	g.BeginDrain() // idempotent
+}
+
+// TestGovernGateNeverExceedsCapacity hammers the gate from many goroutines
+// and asserts the in-flight weight never exceeds capacity — the acceptance
+// property of the admission limit.
+func TestGovernGateNeverExceedsCapacity(t *testing.T) {
+	const capacity = 3
+	g := NewGate(capacity, 8, 50*time.Millisecond)
+	var running, peak, admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				shed.Add(1)
+				return
+			}
+			admitted.Add(1)
+			now := running.Add(1)
+			for {
+				p := peak.Load()
+				if now <= p || peak.CompareAndSwap(p, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("in-flight peak %d exceeds capacity %d", p, capacity)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no queries admitted")
+	}
+	if g.InFlight() != 0 || g.QueueDepth() != 0 {
+		t.Fatalf("gate not empty: inflight=%d queue=%d", g.InFlight(), g.QueueDepth())
+	}
+}
+
+func TestGovernWriteShed(t *testing.T) {
+	rec := httptest.NewRecorder()
+	if !WriteShed(rec, &ShedError{Reason: ReasonQueueFull, RetryAfter: 1500 * time.Millisecond}) {
+		t.Fatal("shed error not handled")
+	}
+	if rec.Code != 429 {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2", ra)
+	}
+	rec = httptest.NewRecorder()
+	if !WriteShed(rec, &ShedError{Reason: ReasonDraining}) {
+		t.Fatal("draining shed not handled")
+	}
+	if rec.Code != 503 {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if WriteShed(httptest.NewRecorder(), errors.New("boom")) {
+		t.Fatal("non-shed error must not be handled")
+	}
+}

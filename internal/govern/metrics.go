@@ -1,0 +1,18 @@
+package govern
+
+import "genogo/internal/obs"
+
+// Admission-control metrics, registered against the process-wide registry at
+// package init so any binary using a Gate exports them from /metrics.
+var (
+	metricAdmitted = obs.Default().Counter("genogo_govern_queries_admitted_total",
+		"Queries admitted past the admission gate.")
+	metricQueued = obs.Default().Counter("genogo_govern_queries_queued_total",
+		"Queries that waited in the admission queue before a verdict.")
+	metricShed = obs.Default().CounterVec("genogo_govern_queries_shed_total",
+		"Queries rejected by the admission gate, by reason.", "reason")
+	metricQueueDepth = obs.Default().Gauge("genogo_govern_queue_depth",
+		"Queries currently waiting in the admission queue.")
+	metricInFlight = obs.Default().Gauge("genogo_govern_in_flight",
+		"Admitted query weight currently executing.")
+)

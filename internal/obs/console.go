@@ -193,6 +193,7 @@ table{border-collapse:collapse}
 td,th{border:1px solid #999;padding:2px 8px;text-align:left}
 pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 .st-running{color:#06c}.st-done{color:#080}.st-partial{color:#b60}.st-failed,.err{color:#c00}
+.st-canceled{color:#a3a}.st-shed{color:#c60}
 </style></head><body>`
 
 const consoleFooter = `</body></html>`

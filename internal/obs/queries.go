@@ -13,10 +13,12 @@ type QueryStatus string
 
 // Entry lifecycle: Running until Finish, then one of the terminal states.
 const (
-	StatusRunning QueryStatus = "running"
-	StatusDone    QueryStatus = "done"
-	StatusPartial QueryStatus = "partial" // degraded-mode federated success
-	StatusFailed  QueryStatus = "failed"
+	StatusRunning  QueryStatus = "running"
+	StatusDone     QueryStatus = "done"
+	StatusPartial  QueryStatus = "partial" // degraded-mode federated success
+	StatusFailed   QueryStatus = "failed"
+	StatusCanceled QueryStatus = "canceled" // lifecycle kill: disconnect, deadline, budget
+	StatusShed     QueryStatus = "shed"     // rejected by admission control, never ran
 )
 
 // MemberState is the console's view of one federation member's leg of a

@@ -61,3 +61,25 @@ func (l *SlowQueryLog) ObserveQuery(id, query string, root *Span) {
 	}
 	l.logger().Warn("slow query", attrs...)
 }
+
+// ObserveKilled records a query that lifecycle governance killed (canceled,
+// deadline, budget) or admission control shed. Killed queries log regardless
+// of duration — a query shed in microseconds is exactly the overload signal
+// the log exists for — but honor the threshold-as-enable convention: a nil
+// or disabled log stays silent. took is the query's wall time (zero for shed
+// queries that never ran).
+func (l *SlowQueryLog) ObserveKilled(id, query, status, reason string, took time.Duration) {
+	if l == nil || l.Threshold <= 0 {
+		return
+	}
+	attrs := []any{
+		slog.String("query", query),
+		slog.String("status", status),
+		slog.String("reason", reason),
+		slog.Duration("took", took),
+	}
+	if id != "" {
+		attrs = append(attrs, slog.String("query_id", id))
+	}
+	l.logger().Warn("query killed", attrs...)
+}

@@ -1,0 +1,84 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Staller is the stuck-operator/slow-consumer chaos injector: its Hook blocks
+// every engine work item until the injector is released or the governed
+// query's cancellation signal fires. Plugged into engine.Config.Stall, it
+// makes cancellation-latency bounds deterministically testable — the test
+// stalls the operators, cancels the query, and measures how long the workers
+// take to observe the kill.
+//
+// A zero Staller blocks indefinitely (until Release or cancellation); set
+// Delay for a slow-consumer flavor that merely delays each item.
+type Staller struct {
+	// Delay, when positive, turns the injector into a slow consumer: each
+	// work item is delayed by Delay (honoring cancellation) instead of
+	// blocking until Release.
+	Delay time.Duration
+
+	once     sync.Once
+	relOnce  sync.Once
+	released chan struct{}
+	stalled  atomic.Int64
+	entered  atomic.Int64
+}
+
+func (s *Staller) init() {
+	s.once.Do(func() { s.released = make(chan struct{}) })
+}
+
+// Hook is the engine stall hook. done is the governed session's cancellation
+// signal; a nil done never fires, so an unreleased zero Staller blocks an
+// ungoverned session forever — which is the point of the injector.
+func (s *Staller) Hook(done <-chan struct{}) {
+	s.init()
+	s.entered.Add(1)
+	metricChaosInjections.Inc()
+	s.stalled.Add(1)
+	defer s.stalled.Add(-1)
+	if s.Delay > 0 {
+		timer := time.NewTimer(s.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-s.released:
+		case <-done:
+		}
+		return
+	}
+	select {
+	case <-s.released:
+	case <-done:
+	}
+}
+
+// Release unblocks every current and future stalled item. Idempotent.
+func (s *Staller) Release() {
+	s.init()
+	s.relOnce.Do(func() { close(s.released) })
+}
+
+// Stalled reports how many work items are blocked in the injector right now.
+func (s *Staller) Stalled() int { return int(s.stalled.Load()) }
+
+// Entered reports how many work items have entered the injector in total.
+func (s *Staller) Entered() int { return int(s.entered.Load()) }
+
+// WaitStalled blocks until at least n work items are simultaneously stalled
+// or the timeout expires, reporting whether the condition was reached. Tests
+// use it to cancel a query at a known-stuck moment.
+func (s *Staller) WaitStalled(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.Stalled() >= n {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return s.Stalled() >= n
+}
