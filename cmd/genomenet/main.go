@@ -25,7 +25,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
@@ -72,36 +71,31 @@ func setupHost(args []string, out io.Writer) (http.Handler, string, error) {
 		return nil, "", err
 	}
 	h := genomenet.NewHost(*name)
-	entries, err := os.ReadDir(*dataDir)
+	// Load through the verified read path: a host must not publish silently
+	// wrong bytes to the network. Corrupt samples are quarantined and the
+	// dataset published partially, mirroring federation's degraded mode.
+	dss, reps, err := formats.LoadRepository(*dataDir, formats.IntegrityPolicy{AllowPartial: true, Quarantine: true})
 	if err != nil {
 		return nil, "", err
 	}
-	published := 0
-	for _, e := range entries {
-		// Dot-prefixed directories are crash leftovers of WriteDataset's
-		// atomic staging, never datasets.
-		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
-			continue
-		}
-		sub := filepath.Join(*dataDir, e.Name())
-		if _, err := os.Stat(filepath.Join(sub, "schema.txt")); err != nil {
-			continue
-		}
-		ds, err := formats.ReadDataset(sub)
-		if err != nil {
-			return nil, "", fmt.Errorf("loading %s: %w", sub, err)
-		}
+	for i, ds := range dss {
 		h.Publish(ds, true)
 		fmt.Fprintf(out, "publishing %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
-		published++
+		if rep := reps[i]; rep.Partial() {
+			fmt.Fprintf(out, "WARNING: %s published partially: %d sample(s) quarantined (see /debug/storage)\n",
+				ds.Name, len(rep.Quarantined))
+		} else if rep.Unverified {
+			fmt.Fprintf(out, "WARNING: %s has no manifest; published unverified (gmqlfsck -rebuild upgrades it)\n", ds.Name)
+		}
 	}
-	if published == 0 {
+	if len(dss) == 0 {
 		return nil, "", fmt.Errorf("no datasets found under %s", *dataDir)
 	}
 	fmt.Fprintf(out, "host %s listening on %s\n", *name, *addr)
 	mux := http.NewServeMux()
 	mux.Handle("/", h.Handler())
 	obs.Mount(mux, obs.Default())
+	obs.MountState(mux, "/debug/storage", func() any { return formats.IntegritySnapshot() })
 	return mux, *addr, nil
 }
 

@@ -37,7 +37,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
@@ -106,7 +105,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	catalog, err := loadCatalog(*dataDir)
+	catalog, err := loadCatalog(*dataDir, out)
 	if err != nil {
 		return err
 	}
@@ -254,28 +253,25 @@ func parseConfig(mode string, workers int, binWidth int64) (engine.Config, error
 	return cfg, nil
 }
 
-// loadCatalog reads every dataset subdirectory under dir.
-func loadCatalog(dir string) (engine.MapCatalog, error) {
-	entries, err := os.ReadDir(dir)
+// loadCatalog reads every dataset subdirectory under dir through the
+// verified read path. Corrupt samples are skipped with a warning (left in
+// place — the interactive CLI should not rearrange a repository it may not
+// own; gmqld and gmqlfsck do the quarantining); datasets without a manifest
+// load with a one-time unverified warning.
+func loadCatalog(dir string, warn io.Writer) (engine.MapCatalog, error) {
+	dss, reps, err := formats.LoadRepository(dir, formats.IntegrityPolicy{AllowPartial: true})
 	if err != nil {
 		return nil, err
 	}
 	cat := engine.MapCatalog{}
-	for _, e := range entries {
-		// Dot-prefixed directories are crash leftovers of WriteDataset's
-		// atomic staging, never datasets.
-		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
-			continue
-		}
-		sub := filepath.Join(dir, e.Name())
-		if _, err := os.Stat(filepath.Join(sub, "schema.txt")); err != nil {
-			continue // not a dataset directory
-		}
-		ds, err := formats.ReadDataset(sub)
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", sub, err)
-		}
+	for i, ds := range dss {
 		cat[ds.Name] = ds
+		if rep := reps[i]; rep.Partial() {
+			fmt.Fprintf(warn, "WARNING: %s loaded partially: %d corrupt sample(s) skipped (gmqlfsck can repair)\n",
+				ds.Name, len(rep.Quarantined))
+		} else if rep.Unverified {
+			fmt.Fprintf(warn, "WARNING: %s has no manifest; loaded unverified (gmqlfsck -rebuild upgrades it)\n", ds.Name)
+		}
 	}
 	if len(cat) == 0 {
 		return nil, fmt.Errorf("no datasets found under %s", dir)

@@ -44,8 +44,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
@@ -162,41 +160,38 @@ func setup(args []string, out io.Writer) (*node, error) {
 		fmt.Fprintf(out, "admission: %d concurrent, queue %d, queue timeout %v\n",
 			*maxConcurrent, *maxQueue, *queueTimeout)
 	}
-	entries, err := os.ReadDir(*dataDir)
+	// Load through the verified read path: checksums and manifests are
+	// checked, corrupt samples are quarantined rather than served as wrong
+	// results, and the per-dataset verdicts land on /debug/storage.
+	dss, reps, err := formats.LoadRepository(*dataDir, formats.IntegrityPolicy{AllowPartial: true, Quarantine: true})
 	if err != nil {
 		return nil, err
 	}
-	loaded := 0
-	for _, e := range entries {
-		// Dot-prefixed directories are skipped: formats.WriteDataset stages
-		// new datasets in hidden temp dirs, and a crash may leave one behind.
-		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
-			continue
-		}
-		sub := filepath.Join(*dataDir, e.Name())
-		if _, err := os.Stat(filepath.Join(sub, "schema.txt")); err != nil {
-			continue
-		}
-		ds, err := formats.ReadDataset(sub)
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", sub, err)
-		}
+	for i, ds := range dss {
 		srv.AddDataset(ds)
 		fmt.Fprintf(out, "serving %s: %d samples, %d regions\n", ds.Name, len(ds.Samples), ds.NumRegions())
-		loaded++
+		if rep := reps[i]; rep.Partial() {
+			fmt.Fprintf(out, "WARNING: %s loaded partially: %d sample(s) quarantined (see /debug/storage)\n",
+				ds.Name, len(rep.Quarantined))
+		} else if rep.Unverified {
+			fmt.Fprintf(out, "WARNING: %s has no manifest; loaded unverified (gmqlfsck -rebuild upgrades it)\n", ds.Name)
+		}
 	}
-	if loaded == 0 {
+	if len(dss) == 0 {
 		return nil, fmt.Errorf("no datasets found under %s", *dataDir)
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
+	storageState := func() any { return formats.IntegritySnapshot() }
 	var metricsSrv *http.Server
 	if *metricsAddr == "" {
 		obs.Mount(mux, obs.Default())
+		obs.MountState(mux, "/debug/storage", storageState)
 	} else {
 		mmux := http.NewServeMux()
 		obs.Mount(mmux, obs.Default())
+		obs.MountState(mmux, "/debug/storage", storageState)
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
 		fmt.Fprintf(out, "metrics on %s\n", *metricsAddr)
 	}

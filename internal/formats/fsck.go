@@ -1,0 +1,560 @@
+package formats
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"genogo/internal/gdm"
+)
+
+// The fsck engine scans dataset directories, verifies them against their
+// manifests and repairs what can be repaired without guessing:
+//
+//   - orphan staging directories (".<name>.tmp*") and superseded versions
+//     (".<name>.old" next to a live dataset) are removed;
+//   - a torn rename (dataset directory missing, ".<name>.old" present) is
+//     rolled back by restoring the old version;
+//   - a corrupt or missing file whose checksum-matching copy sits in
+//     .quarantine is restored from there;
+//   - with Rebuild, everything else that is structurally sound is upgraded in
+//     place: corrupt files are quarantined, footers are added to legacy
+//     files, and a fresh manifest is written. Rebuild preserves the
+//     .quarantine directory — repairs never destroy evidence.
+//
+// Damage that cannot be repaired without inventing data (corrupt schema with
+// no good copy, checksum mismatches without Rebuild) is reported as a
+// problem; cmd/gmqlfsck exits nonzero if any remain.
+
+// FsckAction records one repair the engine performed.
+type FsckAction struct {
+	Action string `json:"action"`
+	Path   string `json:"path"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Repair action names.
+const (
+	ActionRemoveOrphan      = "remove_orphan"
+	ActionRestoreTornRename = "restore_torn_rename"
+	ActionRestoreQuarantine = "restore_quarantine"
+	ActionQuarantineCorrupt = "quarantine_corrupt"
+	ActionAddFooter         = "add_footer"
+	ActionDropMissing       = "drop_missing"
+	ActionRebuildManifest   = "rebuild_manifest"
+)
+
+// FsckProblem records damage the engine could not repair.
+type FsckProblem struct {
+	Path   string      `json:"path"`
+	Reason FaultReason `json:"reason"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// FsckResult is the outcome for one dataset directory (or one repo-level
+// leftover that belongs to no dataset).
+type FsckResult struct {
+	Dir        string        `json:"dir"`
+	Dataset    string        `json:"dataset"`
+	Digest     string        `json:"digest,omitempty"`
+	Samples    int           `json:"samples"`
+	Unverified bool          `json:"unverified,omitempty"`
+	Repaired   []FsckAction  `json:"repaired,omitempty"`
+	Problems   []FsckProblem `json:"problems,omitempty"`
+}
+
+// Clean reports whether the dataset has no unrepaired damage.
+func (r *FsckResult) Clean() bool { return len(r.Problems) == 0 }
+
+func (r *FsckResult) repair(action, path, detail string) {
+	r.Repaired = append(r.Repaired, FsckAction{Action: action, Path: path, Detail: detail})
+	metricRepairs.With(action).Inc()
+}
+
+func (r *FsckResult) problem(path string, reason FaultReason, detail string) {
+	r.Problems = append(r.Problems, FsckProblem{Path: path, Reason: reason, Detail: detail})
+}
+
+// FsckOptions configures a check-and-repair run.
+type FsckOptions struct {
+	// Rebuild authorizes manifest reconstruction: corrupt files are
+	// quarantined, missing ones dropped, legacy files gain footers, and the
+	// manifest is rewritten from what remains. Without it, fsck only applies
+	// repairs that restore the manifest's recorded state exactly.
+	Rebuild bool
+}
+
+// FsckRepo checks and repairs every dataset under root: first the repo-level
+// leftovers of torn writes (orphan staging directories, torn renames), then
+// each dataset directory. Results come back sorted by directory.
+func FsckRepo(root string, opts FsckOptions) ([]*FsckResult, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	// Repo-level pass: crash leftovers. Actions are attached to the dataset
+	// they belong to once the per-dataset pass runs.
+	pending := make(map[string][]FsckAction) // dataset base -> actions
+	addPending := func(base, action, path, detail string) {
+		pending[base] = append(pending[base], FsckAction{Action: action, Path: path, Detail: detail})
+		metricRepairs.With(action).Inc()
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(root, name)
+		if base, ok := strings.CutSuffix(strings.TrimPrefix(name, "."), ".old"); ok && base != "" {
+			live := filepath.Join(root, base)
+			if _, err := os.Stat(live); os.IsNotExist(err) {
+				// Torn rename: the old version is the only copy. Restore it.
+				if err := os.Rename(path, live); err != nil {
+					return nil, fmt.Errorf("fsck: restoring %s: %w", path, err)
+				}
+				addPending(base, ActionRestoreTornRename, live, "restored from "+name)
+			} else {
+				if err := os.RemoveAll(path); err != nil {
+					return nil, fmt.Errorf("fsck: removing %s: %w", path, err)
+				}
+				addPending(base, ActionRemoveOrphan, path, "superseded previous version")
+			}
+			continue
+		}
+		if i := strings.Index(name, ".tmp"); i > 1 {
+			base := name[1:i]
+			if err := os.RemoveAll(path); err != nil {
+				return nil, fmt.Errorf("fsck: removing %s: %w", path, err)
+			}
+			addPending(base, ActionRemoveOrphan, path, "staging leftover of a crashed write")
+			continue
+		}
+	}
+
+	// Per-dataset pass, over a fresh listing (a torn-rename restore above
+	// may have brought a dataset directory back).
+	entries, err = os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var results []*FsckResult
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		sub := filepath.Join(root, e.Name())
+		if !isDatasetDir(sub) {
+			continue
+		}
+		res, err := FsckDataset(sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Repaired = append(pending[e.Name()], res.Repaired...)
+		delete(pending, e.Name())
+		results = append(results, res)
+	}
+	// Leftover actions for bases that have no dataset directory (e.g. the
+	// staging dir of a write that never completed at all).
+	for base, actions := range pending {
+		results = append(results, &FsckResult{
+			Dir: filepath.Join(root, base), Dataset: base, Repaired: actions,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Dir < results[j].Dir })
+	return results, nil
+}
+
+// fileState is the triage outcome for one manifest-listed file.
+type fileState struct {
+	payload   []byte
+	info      FileInfo
+	hasFooter bool
+	err       *IntegrityError // nil when the file is good
+}
+
+// FsckDataset checks and repairs one dataset directory.
+func FsckDataset(dir string, opts FsckOptions) (*FsckResult, error) {
+	dir = filepath.Clean(dir)
+	name := filepath.Base(dir)
+	res := &FsckResult{Dir: dir, Dataset: name}
+
+	man, manErr := ReadManifest(dir)
+	switch {
+	case manErr == nil:
+	case errors.Is(manErr, fs.ErrNotExist):
+		man = nil
+	default:
+		// Present but damaged manifest.
+		if !opts.Rebuild {
+			detail := manErr.Error()
+			var ie *IntegrityError
+			if errors.As(manErr, &ie) {
+				detail = ie.Detail
+			}
+			res.problem(filepath.Join(dir, ManifestName), ReasonBadManifest, detail+"; run with -rebuild")
+			return res, nil
+		}
+		man = nil
+	}
+
+	if man == nil && !opts.Rebuild {
+		// Legacy dataset: no manifest to verify against. Check what can be
+		// checked (footers where present, parseability) and report the
+		// directory as unverified.
+		res.Unverified = true
+		ds, _, err := OpenDataset(dir, IntegrityPolicy{})
+		if err != nil {
+			res.problem(dir, reasonOf(err), err.Error())
+			return res, nil
+		}
+		res.Samples = len(ds.Samples)
+		res.Digest = ds.ContentDigest()
+		return res, nil
+	}
+
+	needRebuild := man == nil
+	if man != nil {
+		needRebuild = fsckVerifyAgainstManifest(dir, man, opts, res)
+		if !opts.Rebuild && needRebuild {
+			// Verification found damage only a rebuild can clear; the
+			// problems were already recorded.
+			return res, nil
+		}
+	}
+	if needRebuild {
+		if !fsckRebuild(dir, res) {
+			return res, nil
+		}
+	}
+
+	// Final verdict: the strict verified read path must now pass.
+	if len(res.Problems) == 0 {
+		ds, rep, err := OpenDataset(dir, IntegrityPolicy{})
+		if err != nil {
+			res.problem(dir, reasonOf(err), err.Error())
+			return res, nil
+		}
+		res.Samples = len(ds.Samples)
+		if rep.Digest != "" {
+			res.Digest = rep.Digest
+		} else {
+			res.Digest = ds.ContentDigest()
+		}
+	}
+	return res, nil
+}
+
+// fsckVerifyAgainstManifest triages every manifest-listed file, applying
+// quarantine restores where a checksum-matching copy exists. It reports
+// whether a rebuild is needed to clear remaining damage; without
+// opts.Rebuild that damage lands in res.Problems.
+func fsckVerifyAgainstManifest(dir string, man *Manifest, opts FsckOptions, res *FsckResult) (needRebuild bool) {
+	name := res.Dataset
+	files := make([]string, 0, len(man.Files))
+	for f := range man.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		want := man.Files[file]
+		path := filepath.Join(dir, file)
+		st := triageFile(name, path, want)
+		if st.err == nil {
+			continue
+		}
+		// Try a quarantine restore: a copy whose payload checksum matches
+		// what the manifest promises.
+		if cand := findQuarantineCandidate(dir, file, want); cand != "" {
+			if _, statErr := os.Stat(path); statErr == nil {
+				if moved, qerr := quarantineFile(dir, file); qerr == nil {
+					metricQuarantined.Inc()
+					res.repair(ActionQuarantineCorrupt, path, "moved to "+moved)
+				}
+			}
+			if err := os.Rename(cand, path); err == nil {
+				res.repair(ActionRestoreQuarantine, path, "restored from "+cand)
+				if st2 := triageFile(name, path, want); st2.err == nil {
+					continue
+				}
+			}
+		}
+		// No restore possible. With Rebuild the file is dropped (corrupt
+		// copies preserved in quarantine); without, it is a problem.
+		if !opts.Rebuild {
+			res.problem(path, st.err.Reason, st.err.Detail+"; run with -rebuild to drop or re-adopt")
+			needRebuild = true
+			continue
+		}
+		needRebuild = true
+		switch st.err.Reason {
+		case ReasonMissing:
+			res.repair(ActionDropMissing, path, "no copy to restore; dropping from manifest")
+		case ReasonStaleManifest:
+			// Self-consistent file the manifest disagrees with: the rebuild
+			// re-adopts the file as truth. Nothing to do here.
+		default:
+			if moved, qerr := quarantineFile(dir, file); qerr == nil && moved != "" {
+				metricQuarantined.Inc()
+				res.repair(ActionQuarantineCorrupt, path, "moved to "+moved)
+			}
+		}
+	}
+	// Files on disk the manifest does not list.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		res.problem(dir, ReasonMissing, err.Error())
+		return needRebuild
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || n == ManifestName {
+			continue
+		}
+		if !strings.HasSuffix(n, ".gdm") && !strings.HasSuffix(n, ".gdm.meta") && n != "schema.txt" {
+			continue
+		}
+		if _, listed := man.Files[n]; listed {
+			continue
+		}
+		if !opts.Rebuild {
+			res.problem(filepath.Join(dir, n), ReasonStaleManifest, "file not listed in manifest; run with -rebuild")
+		}
+		needRebuild = true
+	}
+	return needRebuild
+}
+
+// triageFile verifies one file against its manifest entry.
+func triageFile(dataset, path string, want FileInfo) fileState {
+	payload, info, hasFooter, err := readFileVerified(dataset, path)
+	if err != nil {
+		var ie *IntegrityError
+		if errors.As(err, &ie) {
+			return fileState{err: ie}
+		}
+		reason := ReasonMissing
+		detail := ""
+		if !os.IsNotExist(err) {
+			detail = err.Error()
+		}
+		return fileState{err: &IntegrityError{Dataset: dataset, Path: path, Reason: reason, Detail: detail}}
+	}
+	if !hasFooter {
+		return fileState{payload: payload, info: info, err: &IntegrityError{
+			Dataset: dataset, Path: path, Reason: ReasonTruncated,
+			Detail: "manifest present but integrity footer missing"}}
+	}
+	if info != want {
+		return fileState{payload: payload, info: info, hasFooter: true, err: &IntegrityError{
+			Dataset: dataset, Path: path, Reason: ReasonStaleManifest,
+			Detail: fmt.Sprintf("file is self-consistent (%s, %d bytes) but manifest records %s, %d bytes",
+				info.CRC32C, info.Size, want.CRC32C, want.Size)}}
+	}
+	return fileState{payload: payload, info: info, hasFooter: true}
+}
+
+// findQuarantineCandidate returns the path of a quarantined copy of file
+// whose payload checksum and size match the manifest entry, or "".
+func findQuarantineCandidate(dir, file string, want FileInfo) string {
+	qdir := filepath.Join(dir, quarantineDirName)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		return ""
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if n != file {
+			// Numbered copies: file.1, file.2, ...
+			rest, ok := strings.CutPrefix(n, file+".")
+			if !ok {
+				continue
+			}
+			if _, err := strconv.Atoi(rest); err != nil {
+				continue
+			}
+		}
+		path := filepath.Join(qdir, n)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		_, sum, hasFooter, ok := splitFooter(data)
+		if !hasFooter || !ok {
+			continue
+		}
+		if crcHex(sum) == want.CRC32C && int64(len(data)) == want.Size {
+			return path
+		}
+	}
+	return ""
+}
+
+// fsckRebuild reconstructs the dataset's integrity state in place: corrupt
+// files are quarantined, structurally sound ones kept (gaining footers if
+// they lack them), and a fresh manifest is written. Returns false when the
+// dataset is beyond rebuilding (schema unusable).
+func fsckRebuild(dir string, res *FsckResult) bool {
+	name := res.Dataset
+	files := make(map[string]FileInfo)
+
+	keepFile := func(file string) ([]byte, bool) {
+		path := filepath.Join(dir, file)
+		payload, info, hasFooter, err := readFileVerified(name, path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				if moved, qerr := quarantineFile(dir, file); qerr == nil && moved != "" {
+					metricQuarantined.Inc()
+					res.repair(ActionQuarantineCorrupt, path, "moved to "+moved)
+				}
+			}
+			return nil, false
+		}
+		if !hasFooter {
+			info, err = rewriteWithFooter(path, payload)
+			if err != nil {
+				res.problem(path, ReasonTruncated, "cannot add footer: "+err.Error())
+				return nil, false
+			}
+			res.repair(ActionAddFooter, path, "")
+		}
+		files[file] = info
+		return payload, true
+	}
+
+	schemaPayload, ok := keepFile("schema.txt")
+	if !ok {
+		res.problem(filepath.Join(dir, "schema.txt"), ReasonMissing,
+			"schema unusable and no good copy in quarantine; dataset is unrepairable")
+		return false
+	}
+	schema, err := ReadSchema(bytes.NewReader(schemaPayload))
+	if err != nil {
+		res.problem(filepath.Join(dir, "schema.txt"), ReasonParse,
+			err.Error()+"; dataset is unrepairable")
+		return false
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		res.problem(dir, ReasonMissing, err.Error())
+		return false
+	}
+	var ids []string
+	hasRegions := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".gdm") {
+			id := strings.TrimSuffix(e.Name(), ".gdm")
+			ids = append(ids, id)
+			hasRegions[id] = true
+		}
+	}
+	sort.Strings(ids)
+	// Orphan metadata files — partner region file lost or quarantined — are
+	// moved aside too: the rebuilt manifest must account for every native
+	// file the directory holds, or the final strict verify would fail.
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".gdm.meta") {
+			continue
+		}
+		if id := strings.TrimSuffix(n, ".gdm.meta"); !hasRegions[id] {
+			if moved, qerr := quarantineFile(dir, n); qerr == nil && moved != "" {
+				metricQuarantined.Inc()
+				res.repair(ActionQuarantineCorrupt, filepath.Join(dir, n),
+					"orphan metadata without a region file; moved to "+moved)
+			}
+		}
+	}
+
+	ds := gdm.NewDataset(name, schema)
+	for _, id := range ids {
+		regPayload, ok := keepFile(id + ".gdm")
+		if !ok {
+			continue
+		}
+		s := gdm.NewSample(id)
+		if err := ReadRegions(bytes.NewReader(regPayload), schema, s); err != nil {
+			dropSample(dir, id, res, ReasonParse, err.Error())
+			delete(files, id+".gdm")
+			continue
+		}
+		if metaPayload, ok := keepFile(id + ".gdm.meta"); ok {
+			md, err := ReadMeta(bytes.NewReader(metaPayload))
+			if err != nil {
+				dropSample(dir, id, res, ReasonParse, err.Error())
+				delete(files, id+".gdm")
+				delete(files, id+".gdm.meta")
+				continue
+			}
+			s.Meta = md
+		}
+		s.SortRegions()
+		if err := ds.Add(s); err != nil {
+			dropSample(dir, id, res, ReasonParse, err.Error())
+			delete(files, id+".gdm")
+			delete(files, id+".gdm.meta")
+			continue
+		}
+	}
+
+	if err := writeManifest(dir, buildManifest(ds, files)); err != nil {
+		res.problem(filepath.Join(dir, ManifestName), ReasonBadManifest, err.Error())
+		return false
+	}
+	if err := syncDir(dir); err != nil {
+		res.problem(dir, ReasonBadManifest, err.Error())
+		return false
+	}
+	res.repair(ActionRebuildManifest, filepath.Join(dir, ManifestName),
+		fmt.Sprintf("%d samples, digest %s", len(ds.Samples), gdm.ShortDigest(ds.ContentDigest())))
+	return true
+}
+
+// dropSample quarantines a sample's files during a rebuild so the rebuilt
+// manifest does not adopt unparseable data.
+func dropSample(dir, id string, res *FsckResult, reason FaultReason, detail string) {
+	for _, f := range []string{id + ".gdm", id + ".gdm.meta"} {
+		if moved, err := quarantineFile(dir, f); err == nil && moved != "" {
+			metricQuarantined.Inc()
+			res.repair(ActionQuarantineCorrupt, filepath.Join(dir, f),
+				fmt.Sprintf("%s: %s; moved to %s", reason, detail, moved))
+		}
+	}
+}
+
+// rewriteWithFooter atomically rewrites path so its payload gains an
+// integrity footer.
+func rewriteWithFooter(path string, payload []byte) (FileInfo, error) {
+	tmp := path + ".fscktmp"
+	info, err := writeFileWith(tmp, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+	if err != nil {
+		os.Remove(tmp)
+		return FileInfo{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return FileInfo{}, err
+	}
+	return info, nil
+}
+
+// reasonOf extracts the typed fault reason from an error, defaulting to
+// parse damage.
+func reasonOf(err error) FaultReason {
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		return ie.Reason
+	}
+	return ReasonParse
+}

@@ -1,0 +1,497 @@
+package formats
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genogo/internal/gdm"
+)
+
+// writeTestDataset materializes the standard test dataset and returns its
+// directory plus the dataset.
+func writeTestDataset(t *testing.T) (string, *gdm.Dataset) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "PEAKS")
+	ds := testDataset(t)
+	if err := WriteDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+// flipByte flips one bit inside the payload area of a native file, leaving
+// its footer untouched — the signature of media bit rot.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rewriteSelfConsistent rewrites a native file with one extra comment line
+// and a freshly computed footer: the file verifies on its own, but no longer
+// matches what the manifest recorded.
+func rewriteSelfConsistent(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, _, ok := splitFooter(data)
+	if !ok {
+		t.Fatalf("%s does not verify before the test even starts", path)
+	}
+	payload = append(append([]byte{}, payload...), []byte("# edited behind the manifest's back\n")...)
+	sum := crc32.Checksum(payload, castagnoli)
+	out := append(payload, []byte(footerLine(sum, int64(len(payload))))...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stripFooter removes the integrity footer line entirely — the on-disk state
+// of a file torn at a line boundary, or written by a pre-manifest genogo.
+func stripFooter(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, hasFooter, _ := splitFooter(data)
+	if !hasFooter {
+		t.Fatalf("%s has no footer to strip", path)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func wantIntegrityError(t *testing.T, err error, reason FaultReason) *IntegrityError {
+	t.Helper()
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *IntegrityError(%s), have %v", reason, err)
+	}
+	if ie.Reason != reason {
+		t.Fatalf("reason = %s, want %s (err: %v)", ie.Reason, reason, ie)
+	}
+	return ie
+}
+
+// TestWriteDatasetEmitsManifest: every materialization carries a manifest
+// whose checksums match the files and whose digest is the dataset's content
+// digest; loading it back reports a fully verified dataset.
+func TestWriteDatasetEmitsManifest(t *testing.T) {
+	dir, ds := writeTestDataset(t)
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != ManifestFormatVersion || man.Samples != 2 || man.Dataset != "PEAKS" {
+		t.Fatalf("manifest header = %+v", man)
+	}
+	if man.Digest != ds.ContentDigest() {
+		t.Fatalf("manifest digest %s != content digest %s", man.Digest, ds.ContentDigest())
+	}
+	want := []string{"sample1.gdm", "sample1.gdm.meta", "sample2.gdm", "sample2.gdm.meta", "schema.txt"}
+	if len(man.Files) != len(want) {
+		t.Fatalf("manifest files = %v", man.Files)
+	}
+	for _, f := range want {
+		info, ok := man.Files[f]
+		if !ok {
+			t.Fatalf("manifest misses %s", f)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, sum, hasFooter, ok := splitFooter(data)
+		if !hasFooter || !ok {
+			t.Fatalf("%s has no valid footer", f)
+		}
+		if crcHex(sum) != info.CRC32C || int64(len(data)) != info.Size {
+			t.Fatalf("%s: footer %s/%d vs manifest %s/%d", f, crcHex(sum), len(payload), info.CRC32C, info.Size)
+		}
+	}
+
+	got, rep, err := OpenDataset(dir, IntegrityPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified || rep.Unverified || rep.Partial() {
+		t.Fatalf("report = %+v, want fully verified", rep)
+	}
+	if rep.Digest != ds.ContentDigest() {
+		t.Fatalf("report digest %s != %s", rep.Digest, ds.ContentDigest())
+	}
+	datasetsEqual(t, ds, got)
+}
+
+// TestContentDigestIsContentOnly: the digest identifies logical content — it
+// survives a directory rename and changes when a region changes.
+func TestContentDigestIsContentOnly(t *testing.T) {
+	a := testDataset(t)
+	b := testDataset(t)
+	b.Name = "RENAMED"
+	if a.ContentDigest() != b.ContentDigest() {
+		t.Fatal("digest depends on the dataset name")
+	}
+	b.Samples[0].Regions[0].Start++
+	if a.ContentDigest() == b.ContentDigest() {
+		t.Fatal("digest blind to a region change")
+	}
+}
+
+// TestBitFlipFailsStrictLoad: one flipped bit anywhere in a region file makes
+// the strict load fail with a typed checksum error — never a silently wrong
+// dataset.
+func TestBitFlipFailsStrictLoad(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	flipByte(t, filepath.Join(dir, "sample1.gdm"))
+	_, err := ReadDataset(dir)
+	wantIntegrityError(t, err, ReasonChecksum)
+}
+
+// TestPartialLoadQuarantines: with AllowPartial+Quarantine a corrupt sample
+// is moved into .quarantine (both files, as a unit) and the rest of the
+// dataset loads; the report itemizes the exclusion like a federation
+// PartialFailure.
+func TestPartialLoadQuarantines(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	flipByte(t, filepath.Join(dir, "sample1.gdm"))
+	ds, rep, err := OpenDataset(dir, IntegrityPolicy{AllowPartial: true, Quarantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 1 || ds.Samples[0].ID != "sample2" {
+		t.Fatalf("samples = %v", ds.Samples)
+	}
+	if !rep.Partial() || len(rep.Quarantined) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	q := rep.Quarantined[0]
+	if q.Sample != "sample1" || q.Reason != ReasonChecksum || q.MovedTo == "" {
+		t.Fatalf("quarantined = %+v", q)
+	}
+	for _, f := range []string{"sample1.gdm", "sample1.gdm.meta"} {
+		if _, err := os.Stat(filepath.Join(dir, quarantineDirName, f)); err != nil {
+			t.Errorf("%s not in quarantine: %v", f, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Errorf("%s still live after quarantine", f)
+		}
+	}
+	// The strict path still refuses the dataset — partial data never
+	// impersonates a clean load.
+	_, err = ReadDataset(dir)
+	wantIntegrityError(t, err, ReasonMissing)
+}
+
+// TestTruncationDetected: a file whose footer is gone (torn at a line
+// boundary) under a manifest is truncation damage.
+func TestTruncationDetected(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	stripFooter(t, filepath.Join(dir, "sample2.gdm"))
+	_, err := ReadDataset(dir)
+	wantIntegrityError(t, err, ReasonTruncated)
+}
+
+// TestMissingFileDetected: a vanished region file is typed damage, and the
+// partial policy degrades around it.
+func TestMissingFileDetected(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	if err := os.Remove(filepath.Join(dir, "sample1.gdm")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadDataset(dir)
+	wantIntegrityError(t, err, ReasonMissing)
+	ds, rep, err := OpenDataset(dir, IntegrityPolicy{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 1 || !rep.Partial() {
+		t.Fatalf("partial load: samples=%d report=%+v", len(ds.Samples), rep)
+	}
+}
+
+// TestStaleManifestDetected: a self-consistent file the manifest disagrees
+// with is its own fault class — the file verifies, the materialization lies.
+func TestStaleManifestDetected(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	rewriteSelfConsistent(t, filepath.Join(dir, "sample1.gdm"))
+	_, err := ReadDataset(dir)
+	wantIntegrityError(t, err, ReasonStaleManifest)
+}
+
+// TestRogueFileDetected: a region file the manifest does not list cannot be
+// trusted; strict loads fail and partial loads exclude it.
+func TestRogueFileDetected(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	rogue := []byte("chr1\t1\t2\t+\t0.5\tx\n")
+	if err := os.WriteFile(filepath.Join(dir, "rogue.gdm"), rogue, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadDataset(dir)
+	wantIntegrityError(t, err, ReasonStaleManifest)
+	ds, rep, err := OpenDataset(dir, IntegrityPolicy{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 2 || !rep.Partial() || rep.Quarantined[0].Sample != "rogue" {
+		t.Fatalf("ds=%d samples, report=%+v", len(ds.Samples), rep)
+	}
+}
+
+// TestSchemaDamageAlwaysFatal: without a trustworthy schema nothing is
+// interpretable, so even the partial policy refuses the load.
+func TestSchemaDamageAlwaysFatal(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	flipByte(t, filepath.Join(dir, "schema.txt"))
+	_, _, err := OpenDataset(dir, IntegrityPolicy{AllowPartial: true, Quarantine: true})
+	wantIntegrityError(t, err, ReasonChecksum)
+}
+
+// TestBadManifestDetected: a damaged manifest is typed bad_manifest damage,
+// not a crash or a silent legacy load.
+func TestBadManifestDetected(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	flipByte(t, filepath.Join(dir, ManifestName))
+	_, _, err := OpenDataset(dir, IntegrityPolicy{AllowPartial: true})
+	wantIntegrityError(t, err, ReasonBadManifest)
+}
+
+// TestTornRenameDetected: a missing dataset directory with a ".<name>.old"
+// sibling is the torn-rename signature, and fsck rolls it back.
+func TestTornRenameDetected(t *testing.T) {
+	dir, ds := writeTestDataset(t)
+	parent := filepath.Dir(dir)
+	if err := os.Rename(dir, filepath.Join(parent, ".PEAKS.old")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenDataset(dir, IntegrityPolicy{})
+	wantIntegrityError(t, err, ReasonTornRename)
+
+	results, err := FsckRepo(parent, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Clean() {
+		t.Fatalf("fsck results = %+v", results)
+	}
+	if results[0].Repaired[0].Action != ActionRestoreTornRename {
+		t.Fatalf("repairs = %+v", results[0].Repaired)
+	}
+	got, err := ReadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+// writeLegacyDataset lays out a dataset the way pre-manifest genogo did: no
+// footers, no manifest.
+func writeLegacyDataset(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"schema.txt":  "p_value\tfloat\n",
+		"s1.gdm":      "chr1\t100\t200\t+\t0.5\nchr2\t5\t10\t-\t0.25\n",
+		"s1.gdm.meta": "cell\tHeLa\n",
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLegacyDatasetLoadsUnverified: manifest-less directories stay loadable
+// — flagged unverified, never refused.
+func TestLegacyDatasetLoadsUnverified(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "OLD")
+	writeLegacyDataset(t, dir)
+	ds, rep, err := OpenDataset(dir, IntegrityPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Unverified || rep.Verified {
+		t.Fatalf("report = %+v, want unverified", rep)
+	}
+	if len(ds.Samples) != 1 || len(ds.Samples[0].Regions) != 2 {
+		t.Fatalf("legacy load = %s", ds)
+	}
+}
+
+// TestIntegritySnapshot: every open leaves its latest verdict in the
+// process-wide state behind /debug/storage.
+func TestIntegritySnapshot(t *testing.T) {
+	dir, _ := writeTestDataset(t)
+	if _, _, err := OpenDataset(dir, IntegrityPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range IntegritySnapshot() {
+		if rep.Dir == dir && rep.Verified {
+			return
+		}
+	}
+	t.Fatalf("no verified snapshot entry for %s", dir)
+}
+
+// TestCrashRecoveryMatrix kills the writer at each stage of the commit
+// sequence and asserts the invariant the storage layer sells: after fsck,
+// the directory holds the old materialization in full or the new one in
+// full — never a hybrid and never an unreadable state.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	for _, stage := range []string{"pre-manifest", "pre-rename", "mid-rename"} {
+		t.Run(stage, func(t *testing.T) {
+			parent := t.TempDir()
+			dir := filepath.Join(parent, "PEAKS")
+			v1 := testDataset(t)
+			if err := WriteDataset(dir, v1); err != nil {
+				t.Fatal(err)
+			}
+			v2 := testDataset(t)
+			v2.Samples[0].Regions[0].Stop += 1000
+			d1, d2 := v1.ContentDigest(), v2.ContentDigest()
+
+			crashPoint = func(s string) {
+				if s == stage {
+					panic("simulated crash at " + s)
+				}
+			}
+			defer func() { crashPoint = nil }()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("crash at %s did not fire", stage)
+					}
+				}()
+				_ = WriteDataset(dir, v2)
+			}()
+			crashPoint = nil
+
+			results, err := FsckRepo(parent, FsckOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results {
+				if !r.Clean() {
+					t.Fatalf("fsck after %s crash left damage: %+v", stage, r.Problems)
+				}
+			}
+			got, rep, err := OpenDataset(dir, IntegrityPolicy{})
+			if err != nil {
+				t.Fatalf("unreadable after %s crash + fsck: %v", stage, err)
+			}
+			if !rep.Verified {
+				t.Fatalf("after %s crash + fsck: report = %+v", stage, rep)
+			}
+			if g := got.ContentDigest(); g != d1 && g != d2 {
+				t.Fatalf("after %s crash: digest %s is neither old %s nor new %s — hybrid state",
+					stage, g, d1, d2)
+			}
+		})
+	}
+}
+
+// TestStreamChecksumDetectsBitFlip: a flipped byte in transit fails the
+// decode via the GDMSUM trailer even when the damage still parses.
+func TestStreamChecksumDetectsBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDataset(&buf, testDataset(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	i := bytes.Index(data, []byte("CTCF"))
+	if i < 0 {
+		t.Fatal("marker not in stream")
+	}
+	data[i] = 'X' // still parses as metadata, only the checksum can tell
+	_, err := DecodeDataset(bytes.NewReader(data))
+	wantIntegrityError(t, err, ReasonChecksum)
+}
+
+// TestStreamTruncationDetected: cutting the stream anywhere before the
+// trailer fails the decode — either a header runs out or the trailer is gone
+// and record counts do not add up.
+func TestStreamTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDataset(&buf, testDataset(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := DecodeDataset(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("half a stream decoded without error")
+	}
+}
+
+// TestStreamLegacyTrailerless: streams from pre-trailer writers decode.
+func TestStreamLegacyTrailerless(t *testing.T) {
+	var buf bytes.Buffer
+	ds := testDataset(t)
+	if err := EncodeDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	i := bytes.LastIndex(data, []byte("GDMSUM"))
+	got, err := DecodeDataset(bytes.NewReader(data[:i]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+// TestDecodeHostileCounts: declared counts beyond the caps are parse errors,
+// not allocations.
+func TestDecodeHostileCounts(t *testing.T) {
+	hostile := []string{
+		"GDMv1\tX\t99999999999999\n",
+		"GDMv1\tX\t-3\n",
+		"GDMv1\tX\t1\nSCHEMA\t999999999\n",
+		"GDMv1\tX\t1\nSCHEMA\t1\np\tfloat\nSAMPLE\ts\t99999999999\t0\n",
+		"GDMv1\tX\t1\nSCHEMA\t1\np\tfloat\nSAMPLE\ts\t0\t99999999999\n",
+	}
+	for _, h := range hostile {
+		if _, err := DecodeDataset(strings.NewReader(h)); err == nil {
+			t.Errorf("hostile stream %q decoded without error", h)
+		}
+	}
+}
+
+// TestDecodeHostileLineLength: one absurdly long line is an error, not a
+// multi-gigabyte buffer.
+func TestDecodeHostileLineLength(t *testing.T) {
+	r := io.MultiReader(
+		strings.NewReader("GDMv1\tX\t1\nSCHEMA\t1\n"),
+		strings.NewReader(strings.Repeat("a", maxDecodeLineBytes+2)),
+	)
+	if _, err := DecodeDataset(r); err == nil {
+		t.Fatal("oversized line decoded without error")
+	}
+}
+
+// TestSchemaFieldCap: a schema declaring absurdly many attributes is a parse
+// error.
+func TestSchemaFieldCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= maxSchemaFields; i++ {
+		sb.WriteString("f\tfloat\n")
+	}
+	if _, err := ReadSchema(strings.NewReader(sb.String())); err == nil {
+		t.Fatal("oversized schema accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package formats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"genogo/internal/gdm"
+)
+
+// ManifestName is the file at a dataset directory's root describing every
+// file the materialization consists of.
+const ManifestName = "manifest.json"
+
+// ManifestFormatVersion is the native layout version this code writes. A
+// higher version on disk means the dataset was written by a newer genogo and
+// is refused rather than half-understood.
+const ManifestFormatVersion = 1
+
+// FileInfo records one native file's payload size and checksum as the
+// manifest sees them. Size is the full on-disk size including the integrity
+// footer; CRC32C covers the payload bytes before the footer, so it equals the
+// checksum the footer itself declares.
+type FileInfo struct {
+	Size   int64  `json:"size"`
+	CRC32C string `json:"crc32c"`
+}
+
+// Manifest is the dataset's self-description, written last (fsynced, inside
+// the staging directory) by WriteDataset so its presence certifies a complete
+// materialization. Digest is the gdm content digest of the whole dataset —
+// the dataset's version: it changes iff the logical content changes.
+type Manifest struct {
+	FormatVersion int                 `json:"format_version"`
+	Dataset       string              `json:"dataset"`
+	Samples       int                 `json:"samples"`
+	Digest        string              `json:"digest"`
+	Files         map[string]FileInfo `json:"files"`
+}
+
+// SampleIDs lists the sample IDs the manifest declares, sorted, derived from
+// its region-file entries.
+func (m *Manifest) SampleIDs() []string {
+	var ids []string
+	for name := range m.Files {
+		if filepath.Ext(name) == ".gdm" {
+			ids = append(ids, name[:len(name)-len(".gdm")])
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ReadManifest loads and verifies dir's manifest. A dataset without one
+// (the pre-manifest legacy layout) yields an error satisfying
+// errors.Is(err, fs.ErrNotExist); a present but damaged manifest yields a
+// typed *IntegrityError with ReasonBadManifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	path := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("dataset %s: %w", dir, fs.ErrNotExist)
+		}
+		return nil, fmt.Errorf("dataset %s: %w", dir, err)
+	}
+	bad := func(detail string) error {
+		return &IntegrityError{Dataset: filepath.Base(dir), Path: path, Reason: ReasonBadManifest, Detail: detail}
+	}
+	payload, _, hasFooter, ok := splitFooter(data)
+	if !ok {
+		if hasFooter {
+			return nil, bad("manifest checksum mismatch")
+		}
+		// No footer at all: a manifest written by hand or torn mid-line.
+		// Try the raw bytes — json.Unmarshal is the arbiter.
+		payload = data
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, bad(fmt.Sprintf("unparseable: %v", err))
+	}
+	if m.FormatVersion > ManifestFormatVersion {
+		return nil, bad(fmt.Sprintf("format version %d is newer than supported %d", m.FormatVersion, ManifestFormatVersion))
+	}
+	if m.Files == nil {
+		return nil, bad("no files section")
+	}
+	if _, ok := m.Files["schema.txt"]; !ok {
+		return nil, bad("manifest does not list schema.txt")
+	}
+	if n := len(m.SampleIDs()); n != m.Samples {
+		return nil, bad(fmt.Sprintf("manifest declares %d samples but lists %d region files", m.Samples, n))
+	}
+	return &m, nil
+}
+
+// writeManifest materializes the manifest into dir, checksummed and fsynced
+// like every other native file.
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = writeFileWith(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	return err
+}
+
+// buildManifest assembles the manifest for a dataset whose files were just
+// written with the given checksums.
+func buildManifest(ds *gdm.Dataset, files map[string]FileInfo) *Manifest {
+	return &Manifest{
+		FormatVersion: ManifestFormatVersion,
+		Dataset:       ds.Name,
+		Samples:       len(ds.Samples),
+		Digest:        ds.ContentDigest(),
+		Files:         files,
+	}
+}

@@ -1,0 +1,22 @@
+package formats
+
+import "genogo/internal/obs"
+
+// Storage-integrity metrics, registered against the process-wide registry at
+// package init so any binary importing formats exports them from /metrics.
+var (
+	metricVerifiedLoads = obs.Default().Counter("genogo_storage_verified_total",
+		"Dataset loads fully verified against a manifest (every checksum matched).")
+	metricUnverifiedLoads = obs.Default().Counter("genogo_storage_unverified_total",
+		"Dataset loads of legacy directories without a manifest (no integrity guarantee; run gmqlfsck -rebuild to upgrade).")
+	metricIntegrityFailures = obs.Default().CounterVec("genogo_storage_integrity_failures_total",
+		"Integrity faults detected on the read path, by reason.", "reason")
+	metricQuarantined = obs.Default().Counter("genogo_storage_quarantined_total",
+		"Files moved aside into a dataset's .quarantine directory.")
+	metricPartialLoads = obs.Default().Counter("genogo_storage_partial_loads_total",
+		"Dataset loads that succeeded with at least one sample quarantined or skipped.")
+	metricRepairs = obs.Default().CounterVec("genogo_storage_repairs_total",
+		"Repairs applied by the fsck engine, by action.", "action")
+	metricStreamChecksumFailures = obs.Default().Counter("genogo_storage_stream_checksum_failures_total",
+		"Dataset wire streams whose GDMSUM trailer did not match the received bytes.")
+)

@@ -3,13 +3,29 @@ package formats
 import (
 	"bufio"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"strconv"
 	"strings"
 
 	"genogo/internal/gdm"
+)
+
+// Hostile-input bounds: a corrupt or crafted stream must fail with a parse
+// error, not drive a multi-gigabyte allocation or an unbounded loop.
+const (
+	// maxSchemaFields caps the variable attributes a schema may declare.
+	maxSchemaFields = 1 << 12
+	// maxDecodeSamples caps the sample count a wire stream may declare.
+	maxDecodeSamples = 1 << 20
+	// maxDecodeRecords caps the per-sample meta and region counts a wire
+	// stream may declare.
+	maxDecodeRecords = 1 << 30
+	// maxDecodeLineBytes caps one line of a wire stream, matching the
+	// lineScanner bound for on-disk files.
+	maxDecodeLineBytes = 16 << 20
 )
 
 // The native GDM on-disk layout mirrors the repository layout of the GMQL
@@ -47,6 +63,9 @@ func ReadSchema(r io.Reader) (*gdm.Schema, error) {
 			return nil, ls.errf("schema: %v", err)
 		}
 		fields = append(fields, gdm.Field{Name: parts[0], Type: k})
+		if len(fields) > maxSchemaFields {
+			return nil, ls.errf("schema: more than %d fields", maxSchemaFields)
+		}
 	}
 	if err := ls.err(); err != nil {
 		return nil, fmt.Errorf("schema: %w", err)
@@ -137,14 +156,29 @@ func ReadMeta(r io.Reader) (*gdm.Metadata, error) {
 	return md, nil
 }
 
+// crashPoint, when non-nil, is invoked at named stages of WriteDataset's
+// commit sequence ("pre-manifest", "pre-rename", "mid-rename"). Tests use it
+// to simulate a writer killed mid-write by panicking out of the stage;
+// production code never sets it.
+var crashPoint func(stage string)
+
+func crash(stage string) {
+	if crashPoint != nil {
+		crashPoint(stage)
+	}
+}
+
 // WriteDataset materializes a dataset into dir using the native layout,
-// atomically: every file is staged in a hidden sibling directory
-// (".<name>.tmp*") and fsynced, then the staged directory is renamed into
-// place in one step. A process killed mid-write can therefore never leave a
-// half-readable dataset at dir — readers see either the previous
-// materialization in full or the new one, nothing in between. Leftover
-// hidden staging directories from a crash are ignored by the repository
-// loaders (they skip dot-prefixed entries) and are safe to delete.
+// atomically and self-verifyingly: every file is staged in a hidden sibling
+// directory (".<name>.tmp*") with an integrity footer, the manifest
+// (checksums, sample count, content digest) is written last, everything is
+// fsynced, then the staged directory is renamed into place in one step. A
+// process killed mid-write can therefore never leave a half-readable dataset
+// at dir — readers see either the previous materialization in full or the
+// new one, nothing in between — and a manifest's presence certifies the
+// materialization completed. Leftover hidden staging directories from a
+// crash are ignored by the repository loaders (they skip dot-prefixed
+// entries); gmqlfsck removes them.
 func WriteDataset(dir string, ds *gdm.Dataset) error {
 	dir = filepath.Clean(dir)
 	parent, base := filepath.Dir(dir), filepath.Base(dir)
@@ -162,9 +196,12 @@ func WriteDataset(dir string, ds *gdm.Dataset) error {
 	if err := syncDir(tmp); err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
+	crash("pre-rename")
 	// Swap the staged directory into place. A previous materialization is
 	// moved aside under another hidden name first so the final rename is a
-	// single atomic step, then discarded.
+	// single atomic step, then discarded. A crash between the two renames
+	// leaves the ".<name>.old" directory as the only copy; OpenDataset
+	// detects that state as a torn rename and gmqlfsck restores it.
 	old := filepath.Join(parent, "."+base+".old")
 	if err := os.RemoveAll(old); err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
@@ -172,6 +209,7 @@ func WriteDataset(dir string, ds *gdm.Dataset) error {
 	if err := os.Rename(dir, old); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
+	crash("mid-rename")
 	if err := os.Rename(tmp, dir); err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
@@ -182,45 +220,91 @@ func WriteDataset(dir string, ds *gdm.Dataset) error {
 }
 
 // writeDatasetFiles writes the native layout (schema plus per-sample region
-// and metadata files) into an existing directory.
+// and metadata files, each with an integrity footer) into an existing
+// directory, then the manifest recording their checksums.
 func writeDatasetFiles(dir string, ds *gdm.Dataset) error {
-	if err := writeFileWith(filepath.Join(dir, "schema.txt"), func(w io.Writer) error {
+	files := make(map[string]FileInfo, 1+2*len(ds.Samples))
+	info, err := writeFileWith(filepath.Join(dir, "schema.txt"), func(w io.Writer) error {
 		return WriteSchema(w, ds.Schema)
-	}); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
+	files["schema.txt"] = info
 	for _, s := range ds.Samples {
-		if err := writeFileWith(filepath.Join(dir, s.ID+".gdm"), func(w io.Writer) error {
+		info, err := writeFileWith(filepath.Join(dir, s.ID+".gdm"), func(w io.Writer) error {
 			return WriteRegions(w, s)
-		}); err != nil {
+		})
+		if err != nil {
 			return fmt.Errorf("dataset %s sample %s: %w", ds.Name, s.ID, err)
 		}
-		if err := writeFileWith(filepath.Join(dir, s.ID+".gdm.meta"), func(w io.Writer) error {
+		files[s.ID+".gdm"] = info
+		info, err = writeFileWith(filepath.Join(dir, s.ID+".gdm.meta"), func(w io.Writer) error {
 			return WriteMeta(w, s.Meta)
-		}); err != nil {
+		})
+		if err != nil {
 			return fmt.Errorf("dataset %s sample %s: %w", ds.Name, s.ID, err)
 		}
+		files[s.ID+".gdm.meta"] = info
+	}
+	crash("pre-manifest")
+	if err := writeManifest(dir, buildManifest(ds, files)); err != nil {
+		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
 	return nil
 }
 
-// writeFileWith creates path, streams fn's output into it and fsyncs before
-// closing, so the bytes are durable by the time the staged directory is
-// renamed into place.
-func writeFileWith(path string, fn func(io.Writer) error) error {
+// countingWriter tracks how many payload bytes fn wrote and whether the last
+// one was a newline, so the integrity footer always starts on its own line.
+type countingWriter struct {
+	w        io.Writer
+	n        int64
+	lastByte byte
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	if n > 0 {
+		c.lastByte = p[n-1]
+	}
+	return n, err
+}
+
+// writeFileWith creates path, streams fn's output into it, appends the
+// integrity footer and fsyncs before closing, so the bytes are durable and
+// self-verifying by the time the staged directory is renamed into place. It
+// returns the file's manifest entry.
+func writeFileWith(path string, fn func(io.Writer) error) (FileInfo, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return FileInfo{}, err
 	}
-	if err := fn(f); err != nil {
+	h := crc32.New(castagnoli)
+	cw := &countingWriter{w: io.MultiWriter(f, h)}
+	if err := fn(cw); err != nil {
 		f.Close()
-		return err
+		return FileInfo{}, err
+	}
+	if cw.n > 0 && cw.lastByte != '\n' {
+		if _, err := cw.Write([]byte("\n")); err != nil {
+			f.Close()
+			return FileInfo{}, err
+		}
+	}
+	footer := footerLine(h.Sum32(), cw.n)
+	if _, err := f.WriteString(footer); err != nil {
+		f.Close()
+		return FileInfo{}, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return FileInfo{}, err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Size: cw.n + int64(len(footer)), CRC32C: crcHex(h.Sum32())}, nil
 }
 
 // syncDir fsyncs a directory, making the renames and file creations inside
@@ -237,91 +321,93 @@ func syncDir(dir string) error {
 	return err
 }
 
-// ReadDataset loads a native-layout dataset directory. The dataset name is
-// the directory base name.
+// ReadDataset loads a native-layout dataset directory through the verified
+// read path with the strict policy: any integrity damage fails the load with
+// a typed *IntegrityError. Callers that prefer to degrade — load the intact
+// samples, quarantine the corrupt ones — use OpenDataset with an
+// IntegrityPolicy instead. The dataset name is the directory base name.
 func ReadDataset(dir string) (*gdm.Dataset, error) {
-	sf, err := os.Open(filepath.Join(dir, "schema.txt"))
-	if err != nil {
-		return nil, fmt.Errorf("dataset %s: %w", dir, err)
-	}
-	schema, err := ReadSchema(sf)
-	sf.Close()
-	if err != nil {
-		return nil, fmt.Errorf("dataset %s: %w", dir, err)
-	}
-	ds := gdm.NewDataset(filepath.Base(dir), schema)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("dataset %s: %w", dir, err)
-	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".gdm") {
-			names = append(names, strings.TrimSuffix(e.Name(), ".gdm"))
-		}
-	}
-	sort.Strings(names)
-	for _, id := range names {
-		s := gdm.NewSample(id)
-		rf, err := os.Open(filepath.Join(dir, id+".gdm"))
-		if err != nil {
-			return nil, fmt.Errorf("dataset %s: %w", dir, err)
-		}
-		err = ReadRegions(rf, schema, s)
-		rf.Close()
-		if err != nil {
-			return nil, fmt.Errorf("dataset %s sample %s: %w", dir, id, err)
-		}
-		if mf, err := os.Open(filepath.Join(dir, id+".gdm.meta")); err == nil {
-			md, merr := ReadMeta(mf)
-			mf.Close()
-			if merr != nil {
-				return nil, fmt.Errorf("dataset %s sample %s: %w", dir, id, merr)
-			}
-			s.Meta = md
-		} else if !os.IsNotExist(err) {
-			return nil, fmt.Errorf("dataset %s sample %s: %w", dir, id, err)
-		}
-		s.SortRegions()
-		if err := ds.Add(s); err != nil {
-			return nil, err
-		}
-	}
-	return ds, nil
+	ds, _, err := OpenDataset(dir, IntegrityPolicy{})
+	return ds, err
 }
 
 // EncodeDataset writes the whole dataset as one self-describing stream: the
-// wire format of the federation protocol and the genome-net crawler.
+// wire format of the federation protocol and the genome-net crawler. The
+// stream ends with a GDMSUM trailer checksumming every byte before it, so a
+// truncated or bit-flipped transfer is detected by DecodeDataset instead of
+// parsing into silently wrong results. Pre-trailer decoders skip unknown
+// trailing data, so the trailer is backward compatible.
 func EncodeDataset(w io.Writer, ds *gdm.Dataset) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "GDMv1\t%s\t%d\n", ds.Name, len(ds.Samples))
-	fmt.Fprintf(bw, "SCHEMA\t%d\n", ds.Schema.Len())
-	if err := WriteSchema(bw, ds.Schema); err != nil {
+	h := crc32.New(castagnoli)
+	hw := io.MultiWriter(bw, h)
+	fmt.Fprintf(hw, "GDMv1\t%s\t%d\n", ds.Name, len(ds.Samples))
+	fmt.Fprintf(hw, "SCHEMA\t%d\n", ds.Schema.Len())
+	if err := WriteSchema(hw, ds.Schema); err != nil {
 		return err
 	}
 	for _, s := range ds.Samples {
-		fmt.Fprintf(bw, "SAMPLE\t%s\t%d\t%d\n", s.ID, s.Meta.Len(), len(s.Regions))
-		if err := WriteMeta(bw, s.Meta); err != nil {
+		fmt.Fprintf(hw, "SAMPLE\t%s\t%d\t%d\n", s.ID, s.Meta.Len(), len(s.Regions))
+		if err := WriteMeta(hw, s.Meta); err != nil {
 			return err
 		}
-		if err := WriteRegions(bw, s); err != nil {
+		if err := WriteRegions(hw, s); err != nil {
 			return err
 		}
 	}
+	fmt.Fprintf(bw, "GDMSUM\tcrc32c:%s\n", crcHex(h.Sum32()))
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("encode dataset %s: %w", ds.Name, err)
 	}
 	return nil
 }
 
-// DecodeDataset reads a stream produced by EncodeDataset.
+// parseCount parses a declared record count from a stream header and bounds
+// it: negative or absurd counts are corruption, not allocation requests.
+func parseCount(s, what string, max int) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("decode dataset: bad %s %q", what, s)
+	}
+	if n > max {
+		return 0, fmt.Errorf("decode dataset: declared %s %d exceeds limit %d", what, n, max)
+	}
+	return n, nil
+}
+
+// DecodeDataset reads a stream produced by EncodeDataset. When the stream
+// carries a GDMSUM trailer, every byte before it is checksummed and a
+// mismatch fails the decode with a typed *IntegrityError; trailerless
+// streams (older writers) decode as before. Declared counts are bounded, so
+// a corrupt header is a parse error rather than a huge allocation.
 func DecodeDataset(r io.Reader) (*gdm.Dataset, error) {
 	br := bufio.NewReader(r)
+	h := crc32.New(castagnoli)
+	// Lines are read in bounded chunks: a crafted stream with one enormous
+	// line fails with a parse error instead of an unbounded allocation.
+	readBounded := func() (string, error) {
+		var sb strings.Builder
+		for {
+			chunk, err := br.ReadSlice('\n')
+			sb.Write(chunk)
+			if sb.Len() > maxDecodeLineBytes {
+				return "", fmt.Errorf("decode dataset: line exceeds %d bytes", maxDecodeLineBytes)
+			}
+			if err == bufio.ErrBufferFull {
+				continue
+			}
+			if err != nil && (err != io.EOF || sb.Len() == 0) {
+				return "", err
+			}
+			return sb.String(), nil
+		}
+	}
 	readLine := func() (string, error) {
-		line, err := br.ReadString('\n')
-		if err != nil && (err != io.EOF || line == "") {
+		line, err := readBounded()
+		if err != nil {
 			return "", err
 		}
+		h.Write([]byte(line))
 		return strings.TrimRight(line, "\n"), nil
 	}
 	header, err := readLine()
@@ -332,17 +418,21 @@ func DecodeDataset(r io.Reader) (*gdm.Dataset, error) {
 	if len(hp) != 3 || hp[0] != "GDMv1" {
 		return nil, fmt.Errorf("decode dataset: bad header %q", header)
 	}
-	var nSamples int
-	if _, err := fmt.Sscanf(hp[2], "%d", &nSamples); err != nil {
-		return nil, fmt.Errorf("decode dataset: bad sample count %q", hp[2])
+	nSamples, err := parseCount(hp[2], "sample count", maxDecodeSamples)
+	if err != nil {
+		return nil, err
 	}
 	schemaHdr, err := readLine()
 	if err != nil {
 		return nil, fmt.Errorf("decode dataset: %w", err)
 	}
-	var nFields int
-	if _, err := fmt.Sscanf(schemaHdr, "SCHEMA\t%d", &nFields); err != nil {
+	shp := strings.Split(schemaHdr, "\t")
+	if len(shp) != 2 || shp[0] != "SCHEMA" {
 		return nil, fmt.Errorf("decode dataset: bad schema header %q", schemaHdr)
+	}
+	nFields, err := parseCount(shp[1], "schema field count", maxSchemaFields)
+	if err != nil {
+		return nil, err
 	}
 	var schemaLines strings.Builder
 	for i := 0; i < nFields; i++ {
@@ -367,12 +457,13 @@ func DecodeDataset(r io.Reader) (*gdm.Dataset, error) {
 		if len(parts) != 4 || parts[0] != "SAMPLE" {
 			return nil, fmt.Errorf("decode dataset: bad sample header %q", sh)
 		}
-		var nMeta, nRegions int
-		if _, err := fmt.Sscanf(parts[2], "%d", &nMeta); err != nil {
-			return nil, fmt.Errorf("decode dataset: bad meta count %q", parts[2])
+		nMeta, err := parseCount(parts[2], "meta count", maxDecodeRecords)
+		if err != nil {
+			return nil, err
 		}
-		if _, err := fmt.Sscanf(parts[3], "%d", &nRegions); err != nil {
-			return nil, fmt.Errorf("decode dataset: bad region count %q", parts[3])
+		nRegions, err := parseCount(parts[3], "region count", maxDecodeRecords)
+		if err != nil {
+			return nil, err
 		}
 		s := gdm.NewSample(parts[1])
 		var metaLines strings.Builder
@@ -405,5 +496,25 @@ func DecodeDataset(r io.Reader) (*gdm.Dataset, error) {
 			return nil, err
 		}
 	}
+	// Optional integrity trailer: a GDMSUM line checksumming every byte
+	// before it. Read outside readLine so the trailer itself is not hashed.
+	sum := h.Sum32()
+	trailer, terr := readBounded()
+	if terr != nil || trailer == "" {
+		return ds, nil // no trailer: legacy stream
+	}
+	trailer = strings.TrimRight(trailer, "\n")
+	if rest, ok := strings.CutPrefix(trailer, "GDMSUM\tcrc32c:"); ok {
+		declared, err := strconv.ParseUint(strings.TrimSpace(rest), 16, 32)
+		if err == nil && uint32(declared) != sum {
+			metricStreamChecksumFailures.Inc()
+			metricIntegrityFailures.With(string(ReasonChecksum)).Inc()
+			return nil, &IntegrityError{
+				Dataset: ds.Name, Path: "stream", Reason: ReasonChecksum,
+				Detail: fmt.Sprintf("stream crc32c %s != declared %s", crcHex(sum), crcHex(uint32(declared))),
+			}
+		}
+	}
+	// Unknown trailing data is ignored, as it was before the trailer existed.
 	return ds, nil
 }

@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 )
@@ -61,4 +62,21 @@ func MountQueries(mux *http.ServeMux, q *QueryRegistry) {
 	h := q.ConsoleHandler()
 	mux.Handle("/debug/queries", h)
 	mux.Handle("/debug/queries/", h)
+}
+
+// MountState registers a JSON state endpoint: each GET serves the value fn
+// returns at that moment. Subsystems obs cannot import (layering) use it to
+// publish their debug state next to /metrics — e.g. the storage layer's
+// per-dataset integrity reports on /debug/storage.
+func MountState(mux *http.ServeMux, path string, fn func() any) {
+	mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fn())
+	})
 }

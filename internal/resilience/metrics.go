@@ -11,4 +11,6 @@ var (
 		"Circuit-breaker state transitions, by destination state.", "to")
 	metricChaosInjections = obs.Default().Counter("genogo_resilience_chaos_injections_total",
 		"Faults injected by ChaosTransport.")
+	metricDiskFaults = obs.Default().CounterVec("genogo_resilience_disk_faults_total",
+		"Disk faults injected by DiskFaultInjector, by class.", "class")
 )
