@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunGridWritesReport runs the grid at a tiny benchtime and checks the
+// trajectory report shape end to end.
+func TestRunGridWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_TEST.json")
+	var buf bytes.Buffer
+	err := run([]string{"-benchtime", "1ms", "-runs", "1", "-samples", "4",
+		"-pr", "99", "-out", out}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.PR != 99 || rep.Benchmark != "BenchmarkHeadline" {
+		t.Errorf("header = %d/%q", rep.PR, rep.Benchmark)
+	}
+	wantRows := []string{"serial", "serial/profiled", "batch", "batch/profiled",
+		"stream", "stream/profiled"}
+	if len(rep.Rows) != len(wantRows) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(wantRows))
+	}
+	for i, name := range wantRows {
+		r := rep.Rows[i]
+		if r.Name != name {
+			t.Errorf("row %d = %q, want %q", i, r.Name, name)
+		}
+		if r.Ops < 1 || r.NsPerOp <= 0 {
+			t.Errorf("%s: ops=%d ns/op=%v, want positive", r.Name, r.Ops, r.NsPerOp)
+		}
+		if r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 {
+			t.Errorf("%s: allocs/op=%d bytes/op=%d, want positive", r.Name, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	for _, mode := range []string{"serial", "batch", "stream"} {
+		if _, ok := rep.Overhead[mode]; !ok {
+			t.Errorf("tracing_overhead_pct missing %q", mode)
+		}
+	}
+}
+
+func marshalBaseline(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCompareBaseline covers the regression gate: within-threshold passes,
+// beyond-threshold fails naming the row, new rows never fail, tiny rows
+// are exempt from the percentage check.
+func TestCompareBaseline(t *testing.T) {
+	fresh := &Report{PR: 7, Rows: []Row{
+		{Name: "serial", Ops: 10, NsPerOp: 10e6, AllocsPerOp: 100_000, BytesPerOp: 1e6},
+		{Name: "stream", Ops: 10, NsPerOp: 10e6, AllocsPerOp: 100_000, BytesPerOp: 1e6},
+		{Name: "brand-new", Ops: 10, NsPerOp: 99e6, AllocsPerOp: 9_999_999, BytesPerOp: 1e6},
+	}}
+
+	t.Run("within threshold", func(t *testing.T) {
+		base := &Report{PR: 2, Rows: []Row{
+			{Name: "serial", NsPerOp: 9.5e6, AllocsPerOp: 95_000},
+			{Name: "stream", NsPerOp: 9.9e6, AllocsPerOp: 99_000},
+		}}
+		var buf bytes.Buffer
+		if err := compareBaseline(fresh, marshalBaseline(t, base), "baseline.json", 15, &buf); err != nil {
+			t.Fatalf("want pass, got %v\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "new row") {
+			t.Errorf("new rows should be reported as such:\n%s", buf.String())
+		}
+	})
+	t.Run("ns regression fails", func(t *testing.T) {
+		base := &Report{PR: 2, Rows: []Row{{Name: "serial", NsPerOp: 5e6, AllocsPerOp: 100_000}}}
+		var buf bytes.Buffer
+		err := compareBaseline(fresh, marshalBaseline(t, base), "baseline.json", 15, &buf)
+		if err == nil || !strings.Contains(buf.String(), "REGRESSION serial: ns/op") {
+			t.Fatalf("want ns/op regression, got err=%v\n%s", err, buf.String())
+		}
+	})
+	t.Run("alloc regression fails", func(t *testing.T) {
+		base := &Report{PR: 2, Rows: []Row{{Name: "stream", NsPerOp: 10e6, AllocsPerOp: 50_000}}}
+		var buf bytes.Buffer
+		err := compareBaseline(fresh, marshalBaseline(t, base), "baseline.json", 15, &buf)
+		if err == nil || !strings.Contains(buf.String(), "REGRESSION stream: allocs/op") {
+			t.Fatalf("want allocs/op regression, got err=%v\n%s", err, buf.String())
+		}
+	})
+	t.Run("tiny rows exempt", func(t *testing.T) {
+		tiny := &Report{PR: 7, Rows: []Row{
+			{Name: "serial", NsPerOp: 900e3, AllocsPerOp: 900}, // 10x worse but under both floors
+		}}
+		base := &Report{PR: 2, Rows: []Row{{Name: "serial", NsPerOp: 90e3, AllocsPerOp: 90}}}
+		var buf bytes.Buffer
+		if err := compareBaseline(tiny, marshalBaseline(t, base), "baseline.json", 15, &buf); err != nil {
+			t.Fatalf("tiny rows must be exempt, got %v", err)
+		}
+	})
+	t.Run("malformed baseline", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := compareBaseline(fresh, []byte("not json"), "baseline.json", 15, &buf); err == nil {
+			t.Fatal("want error for malformed baseline")
+		}
+	})
+}
+
+// TestRunOutEqualsBaseline: -out and -baseline may name the same file — the
+// old content is read before the fresh report overwrites it.
+func TestRunOutEqualsBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var buf bytes.Buffer
+	common := []string{"-benchtime", "1ms", "-runs", "1", "-samples", "4", "-out", path}
+	if err := run(common, &buf); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huge threshold: this asserts the read-before-write plumbing, not noise.
+	if err := run(append(common, "-baseline", path, "-max-regress", "1e9"), &buf); err != nil {
+		t.Fatalf("run with -out == -baseline: %v\n%s", err, buf.String())
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, after) {
+		t.Error("second run did not refresh the report file")
+	}
+	if !strings.Contains(buf.String(), "baseline: serial") {
+		t.Errorf("comparison output missing, got:\n%s", buf.String())
+	}
+}
+
+// TestRunRejectsBadFlags pins the CLI error paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "0"}, &buf); err == nil {
+		t.Error("want error for -runs 0")
+	}
+	if err := run([]string{"positional"}, &buf); err == nil {
+		t.Error("want error for positional args")
+	}
+	if err := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")}, &buf); err == nil {
+		t.Error("want error for missing baseline file")
+	}
+}

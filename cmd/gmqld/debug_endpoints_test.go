@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"genogo/internal/federation"
+)
+
+// TestDebugEndpointsContentTypes pins the content type of every operational
+// endpoint the node mounts.
+func TestDebugEndpointsContentTypes(t *testing.T) {
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	n, err := setup([]string{"-data", dir, "-mode", "serial", "-slow-query", "1ns"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.srv.Handler)
+	defer ts.Close()
+
+	cases := map[string]string{
+		"/metrics":       "text/plain; version=0.0.4; charset=utf-8",
+		"/debug/storage": "application/json",
+		"/debug/prof":    "application/json",
+		"/debug/costs":   "application/json",
+		"/debug/slowlog": "application/json",
+	}
+	for path, want := range cases {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != want {
+			t.Errorf("%s content-type = %q, want %q", path, ct, want)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s returned empty body", path)
+		}
+		// Non-GET must be rejected.
+		pr, err := http.Post(ts.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status = %d, want 405", path, pr.StatusCode)
+		}
+	}
+	// /metrics must carry the build identity and uptime on this mount.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, m := range []string{"genogo_build_info{", "genogo_uptime_seconds"} {
+		if !strings.Contains(string(body), m) {
+			t.Errorf("/metrics missing %s", m)
+		}
+	}
+}
+
+// TestDebugEndpointsConcurrentScrapes hammers every debug endpoint while
+// queries execute — the race detector proves snapshot stability mid-query.
+func TestDebugEndpointsConcurrentScrapes(t *testing.T) {
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	n, err := setup([]string{"-data", dir, "-mode", "stream", "-slow-query", "1ns"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.srv.Handler)
+	defer ts.Close()
+
+	paths := []string{"/metrics", "/debug/storage", "/debug/prof", "/debug/costs",
+		"/debug/slowlog", "/debug/queries?format=json"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + p)
+				if err != nil {
+					t.Errorf("GET %s: %v", p, err)
+					return
+				}
+				if _, err := io.ReadAll(resp.Body); err != nil {
+					t.Errorf("read %s: %v", p, err)
+				}
+				resp.Body.Close()
+			}
+		}(p)
+	}
+	// Queries run while the scrapers hammer the debug surface.
+	c := federation.NewClient(ts.URL)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Execute(context.Background(),
+			`Z = SELECT(dataType == 'ChipSeq') ENCODE; MATERIALIZE Z;`, "Z"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -11,6 +11,7 @@
 //	      [-max-concurrent N] [-max-queue N] [-queue-timeout 10s]
 //	      [-query-deadline D] [-max-regions N] [-max-bytes N]
 //	      [-drain-timeout 30s]
+//	      [-prof-ring 32] [-prof-cpu D] [-prof-interval D]
 //
 // The timeout flags bound how long one HTTP exchange may hold a connection,
 // so a stalled or malicious peer cannot pin server resources forever. The
@@ -32,7 +33,16 @@
 // endpoints need not be exposed to peers. The query console stays on the
 // main listener either way — federation peers correlate queries by the
 // X-Query-ID they sent. -slow-query logs any query slower than the given
-// threshold, with its hottest operators inlined.
+// threshold, with its hottest operators inlined; the recent slow/killed
+// records are retained in a bounded ring on /debug/slowlog.
+//
+// Continuous profiling: the node keeps a ring of recent pprof captures
+// (-prof-ring, 0 disables), taken automatically when a slow query, budget
+// kill, or load shed happens — and on a timer with -prof-interval. -prof-cpu
+// adds a CPU sampling window per capture (heap snapshots only by default).
+// /debug/prof lists the ring; /debug/prof/{id} downloads a capture for
+// `go tool pprof`. /debug/costs exports the rolling per-operator cost model
+// (ns/region, allocs/region by backend and fusion) fed by profiled queries.
 package main
 
 import (
@@ -89,6 +99,9 @@ func run(args []string) error {
 	if n.gate != nil {
 		n.gate.BeginDrain()
 	}
+	if n.profStop != nil {
+		n.profStop()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), n.drainTimeout)
 	defer cancel()
 	if n.metrics != nil {
@@ -105,6 +118,9 @@ type node struct {
 	metrics      *http.Server
 	gate         *govern.Gate
 	drainTimeout time.Duration
+	// profStop halts the continuous profiler's background sampler (nil when
+	// the profiler or its interval sampling is off).
+	profStop func()
 }
 
 // setup parses flags and builds the node's http.Server without binding a
@@ -129,6 +145,9 @@ func setup(args []string, out io.Writer) (*node, error) {
 	maxRegions := fs.Int64("max-regions", 0, "per-query budget: max regions in any operator output (0 disables)")
 	maxBytes := fs.Int64("max-bytes", 0, "per-query budget: max resident bytes of operator outputs (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	profRing := fs.Int("prof-ring", 32, "continuous profiler: max retained pprof captures on /debug/prof (0 disables)")
+	profCPU := fs.Duration("prof-cpu", 0, "continuous profiler: CPU sampling window per capture (0: heap snapshots only)")
+	profInterval := fs.Duration("prof-interval", 0, "continuous profiler: background capture interval (0: capture only on slow-query/kill/shed events)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -147,6 +166,15 @@ func setup(args []string, out io.Writer) (*node, error) {
 	srv := federation.NewServer(*name, cfg)
 	if *slowQuery > 0 {
 		srv.SlowLog = &obs.SlowQueryLog{Threshold: *slowQuery, Logger: slog.Default()}
+	}
+	// Continuous profiler: on by default so a slow query or budget kill always
+	// leaves a pprof capture behind on /debug/prof.
+	var profStop func()
+	if *profRing > 0 {
+		prof := obs.Prof()
+		prof.CPUWindow = *profCPU
+		prof.Enable(*profRing)
+		profStop = prof.Start(*profInterval)
 	}
 	srv.Limits = engine.Limits{
 		MaxOutputRegions: *maxRegions,
@@ -188,10 +216,12 @@ func setup(args []string, out io.Writer) (*node, error) {
 	if *metricsAddr == "" {
 		obs.Mount(mux, obs.Default())
 		obs.MountState(mux, "/debug/storage", storageState)
+		obs.MountSlowlog(mux, srv.SlowLog)
 	} else {
 		mmux := http.NewServeMux()
 		obs.Mount(mmux, obs.Default())
 		obs.MountState(mmux, "/debug/storage", storageState)
+		obs.MountSlowlog(mmux, srv.SlowLog)
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
 		fmt.Fprintf(out, "metrics on %s\n", *metricsAddr)
 	}
@@ -207,5 +237,6 @@ func setup(args []string, out io.Writer) (*node, error) {
 		metrics:      metricsSrv,
 		gate:         gate,
 		drainTimeout: *drainTimeout,
+		profStop:     profStop,
 	}, nil
 }

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"genogo/internal/gdm"
 	"genogo/internal/intervals"
@@ -145,13 +146,16 @@ type workerPanic struct {
 func (c Config) forEach(n int, fn func(i int)) {
 	gated := c.gov != nil || c.Stall != nil
 	w := c.effectiveWorkers(n)
+	mode := c.Mode.String()
 	if w <= 1 {
+		start := time.Now()
 		for i := 0; i < n; i++ {
 			if gated {
 				c.itemGate()
 			}
 			fn(i)
 		}
+		metricBusyNS.With(mode).Add(int64(time.Since(start)))
 		return
 	}
 	metricWorkersBusy.Add(int64(w))
@@ -164,6 +168,8 @@ func (c Config) forEach(n int, fn func(i int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			start := time.Now()
+			defer func() { metricBusyNS.With(mode).Add(int64(time.Since(start))) }()
 			for i := range next {
 				func() {
 					defer func() {

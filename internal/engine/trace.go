@@ -18,6 +18,8 @@ var (
 		"Plan subtrees answered from the session result cache instead of executing.")
 	metricWorkersBusy = obs.Default().Gauge("genogo_engine_workers_busy",
 		"Worker-pool goroutines currently executing operator kernels.")
+	metricBusyNS = obs.Default().CounterVec("genogo_engine_busy_ns_total",
+		"Cumulative wall time worker goroutines spent inside operator kernels, by backend mode. busy_ns / (wall * workers) is pool utilization.", "mode")
 	metricCanceled = obs.Default().CounterVec("genogo_govern_queries_canceled_total",
 		"Queries killed by lifecycle governance, by reason (canceled, deadline).", "reason")
 	metricBudgetKills = obs.Default().Counter("genogo_govern_queries_budget_exceeded_total",
@@ -57,11 +59,16 @@ func opName(n Node) string {
 }
 
 // newSpan starts the span for one plan node: operator name, the plan's
-// one-line description, and the backend that will run it.
+// one-line description, and the backend that will run it. The span is armed
+// for resource attribution (CPU time and allocations over its execution
+// window — obs.ResUsage semantics); FinishRes in finishSpan records the
+// delta, so EXPLAIN ANALYZE shows where the cycles and allocations went,
+// not just the wall time.
 func newSpan(n Node, cfg Config) *obs.Span {
 	sp := obs.NewSpan(opName(n))
 	sp.Detail, _, _ = strings.Cut(n.Describe(0), "\n")
 	sp.Mode = cfg.Mode.String()
+	sp.StartRes()
 	return sp
 }
 
@@ -83,6 +90,9 @@ func fillSpanOutput(sp *obs.Span, out *gdm.Dataset) {
 // safe here: every child finished before its parent's kernel ran (the
 // concurrent right operand of a binary operator synchronizes via channel).
 func finishSpan(sp *obs.Span, cfg Config, out *gdm.Dataset, start time.Time) {
+	// Resources first: the span bookkeeping below should not be attributed
+	// to the operator.
+	sp.FinishRes()
 	sIn, rIn := 0, 0
 	for _, c := range sp.Children {
 		sIn += c.SamplesOut

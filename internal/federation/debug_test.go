@@ -1,0 +1,40 @@
+package federation
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"genogo/internal/engine"
+	"genogo/internal/synth"
+)
+
+// TestNodeDebugEndpoints: every federation node serves the pprof-capture
+// ring and the operator cost registry on its protocol port.
+func TestNodeDebugEndpoints(t *testing.T) {
+	g := synth.New(42)
+	srv := NewServer("node", engine.Config{Mode: engine.ModeSerial, MetaFirst: true},
+		g.Encode(synth.EncodeOptions{Samples: 2, MeanPeaks: 10}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/prof", "/debug/costs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s content-type = %q", path, ct)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s returned empty body", path)
+		}
+	}
+}

@@ -171,7 +171,9 @@ func (s *Server) catalog() engine.MapCatalog {
 // Handler returns the node's HTTP handler. Besides the federation protocol
 // it serves the node's live query console on /debug/queries, so an operator
 // can inspect what a member is executing (and for whom — entries carry the
-// coordinator's QueryID) straight from the node's own port.
+// coordinator's QueryID) straight from the node's own port, plus the
+// node's recent pprof captures on /debug/prof and its learned per-operator
+// costs on /debug/costs.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/datasets", s.handleDatasets)
@@ -180,6 +182,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/results/", s.handleResults)
 	obs.MountQueries(mux, s.queries())
+	obs.MountProf(mux, obs.Prof())
+	obs.MountCosts(mux, obs.Costs())
 	return mux
 }
 

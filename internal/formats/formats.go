@@ -102,9 +102,10 @@ func Read(k Kind, id string, r io.Reader) (*gdm.Sample, *gdm.Schema, error) {
 // lineScanner iterates the non-empty, non-comment lines of a region file,
 // tracking line numbers for error messages.
 type lineScanner struct {
-	sc   *bufio.Scanner
-	line int
-	text string
+	sc    *bufio.Scanner
+	line  int
+	text  string
+	bytes int64 // raw bytes consumed, flushed to the parse-bytes counter
 }
 
 func newLineScanner(r io.Reader) *lineScanner {
@@ -118,6 +119,7 @@ func newLineScanner(r io.Reader) *lineScanner {
 func (ls *lineScanner) next() bool {
 	for ls.sc.Scan() {
 		ls.line++
+		ls.bytes += int64(len(ls.sc.Bytes())) + 1
 		t := strings.TrimRight(ls.sc.Text(), "\r\n")
 		trimmed := strings.TrimSpace(t)
 		if trimmed == "" || strings.HasPrefix(trimmed, "#") ||
@@ -128,13 +130,29 @@ func (ls *lineScanner) next() bool {
 		ls.text = t
 		return true
 	}
+	ls.flushBytes()
 	return false
 }
 
-func (ls *lineScanner) err() error { return ls.sc.Err() }
+// flushBytes credits the consumed bytes to genogo_storage_bytes_parsed_total.
+// Called at the parse loop's terminal points (EOF, scanner error, parse
+// error); counting locally and flushing once keeps the per-line cost at a
+// plain add.
+func (ls *lineScanner) flushBytes() {
+	if ls.bytes > 0 {
+		metricBytesParsed.Add(ls.bytes)
+		ls.bytes = 0
+	}
+}
+
+func (ls *lineScanner) err() error {
+	ls.flushBytes()
+	return ls.sc.Err()
+}
 
 // errf formats a parse error with the current line number.
 func (ls *lineScanner) errf(format string, args ...any) error {
+	ls.flushBytes()
 	return fmt.Errorf("line %d: %s", ls.line, fmt.Sprintf(format, args...))
 }
 

@@ -19,4 +19,6 @@ var (
 		"Repairs applied by the fsck engine, by action.", "action")
 	metricStreamChecksumFailures = obs.Default().Counter("genogo_storage_stream_checksum_failures_total",
 		"Dataset wire streams whose GDMSUM trailer did not match the received bytes.")
+	metricBytesParsed = obs.Default().Counter("genogo_storage_bytes_parsed_total",
+		"Bytes consumed by the text parsers (native, BED, GTF, VCF, schema, metadata) across all loads.")
 )

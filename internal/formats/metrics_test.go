@@ -1,0 +1,29 @@
+package formats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBytesParsedCounter asserts the parse paths credit consumed bytes to
+// genogo_storage_bytes_parsed_total — the "bytes read" leg of per-query
+// resource accounting.
+func TestBytesParsedCounter(t *testing.T) {
+	before := metricBytesParsed.Value()
+	schemaText := "score\tfloat\nname\tstring\n"
+	if _, err := ReadSchema(strings.NewReader(schemaText)); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricBytesParsed.Value() - before; got < int64(len(schemaText)) {
+		t.Errorf("bytes parsed advanced %d, want >= %d", got, len(schemaText))
+	}
+
+	// A parse error still flushes the bytes consumed up to the failure.
+	before = metricBytesParsed.Value()
+	if _, err := ReadSchema(strings.NewReader("only-one-field\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+	if got := metricBytesParsed.Value() - before; got <= 0 {
+		t.Errorf("error path flushed %d bytes, want > 0", got)
+	}
+}

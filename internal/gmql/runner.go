@@ -120,6 +120,7 @@ func (r *Runner) EvalProfiledContext(ctx context.Context, p *Program, name strin
 		return nil, nil, r.queryErr(name, err, time.Since(start))
 	}
 	r.SlowLog.ObserveQuery(r.QueryID, name, sp)
+	obs.ObserveQueryProfile(sp)
 	out := ds.Clone()
 	out.Name = name
 	out.SortRegions()
@@ -185,6 +186,7 @@ func (r *Runner) materialize(ctx context.Context, p *Program, profile bool) ([]R
 			return nil, nil, fmt.Errorf("gmql: materializing %s: %w", m.Var, err)
 		}
 		r.SlowLog.ObserveQuery(r.QueryID, m.Var, sp)
+		obs.ObserveQueryProfile(sp)
 		out := ds.Clone()
 		out.Name = m.Target
 		out.SortRegions()

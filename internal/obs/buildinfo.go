@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Build identity and uptime, registered against the default registry at
+// package init so every binary that mounts /metrics exports them: dashboards
+// join genogo_build_info's labels onto every other series to answer "which
+// build was running when this regressed?", and genogo_uptime_seconds
+// distinguishes a restart from a counter reset.
+
+var processStart = time.Now()
+
+func init() {
+	version, commit := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		} else {
+			version = "devel"
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				commit = s.Value
+				if len(commit) > 12 {
+					commit = commit[:12]
+				}
+			}
+		}
+	}
+	Default().GaugeVec("genogo_build_info",
+		"Build identity: always 1, with the build's version, Go version, and VCS commit as labels.",
+		"version", "go_version", "commit").
+		With(version, runtime.Version(), commit).Set(1)
+
+	up := Default().Gauge("genogo_uptime_seconds",
+		"Seconds since this process started, refreshed at scrape time.")
+	Default().OnScrape(func() {
+		up.Set(int64(time.Since(processStart).Seconds()))
+	})
+}

@@ -127,8 +127,9 @@ func (q *QueryRegistry) serveQuery(w http.ResponseWriter, r *http.Request, id st
 	if s.Err != "" {
 		fmt.Fprintf(&b, "<p class=err>%s</p>", html.EscapeString(s.Err))
 	}
-	fmt.Fprintf(&b, "<p>progress: %d/%d operators done, %ds/%dr produced</p>",
-		s.Progress.SpansDone, s.Progress.SpansSeen, s.Progress.SamplesOut, s.Progress.RegionsOut)
+	fmt.Fprintf(&b, "<p>progress: %d/%d operators done, %ds/%dr produced, cpu=%.1fms allocs=%d/%s</p>",
+		s.Progress.SpansDone, s.Progress.SpansSeen, s.Progress.SamplesOut, s.Progress.RegionsOut,
+		s.Progress.CPUMS, s.Progress.AllocObjs, sizeString(s.Progress.AllocBytes))
 	if len(s.Members) > 0 {
 		b.WriteString("<h2>members</h2><table><tr><th>node</th><th>stage</th><th>samples</th><th>regions</th><th>attempts</th><th>breaker</th><th>bytes</th><th>error</th></tr>")
 		for _, m := range s.Members {
@@ -153,7 +154,7 @@ func writeTable(b *strings.Builder, title string, entries []*QueryEntry) {
 		b.WriteString("<p>none</p>")
 		return
 	}
-	b.WriteString("<table><tr><th>id</th><th>status</th><th>node</th><th>var</th><th>digest</th><th>took</th><th>progress</th><th>members</th></tr>")
+	b.WriteString("<table><tr><th>id</th><th>status</th><th>node</th><th>var</th><th>digest</th><th>took</th><th>cpu</th><th>allocs</th><th>progress</th><th>members</th></tr>")
 	for _, e := range entries {
 		s := summarize(e)
 		done := 0
@@ -166,9 +167,10 @@ func writeTable(b *strings.Builder, title string, entries []*QueryEntry) {
 		if len(s.Members) > 0 {
 			members = fmt.Sprintf("%d/%d", done, len(s.Members))
 		}
-		fmt.Fprintf(b, "<tr><td><a href=\"/debug/queries/%s\">%s</a></td><td><span class=st-%s>%s</span></td><td>%s</td><td>%s</td><td>%s</td><td>%.1fms</td><td>%d/%d ops, %ds/%dr</td><td>%s</td></tr>",
+		fmt.Fprintf(b, "<tr><td><a href=\"/debug/queries/%s\">%s</a></td><td><span class=st-%s>%s</span></td><td>%s</td><td>%s</td><td>%s</td><td>%.1fms</td><td>%.1fms</td><td>%d/%s</td><td>%d/%d ops, %ds/%dr</td><td>%s</td></tr>",
 			html.EscapeString(s.ID), html.EscapeString(s.ID), s.Status, s.Status,
 			html.EscapeString(s.Node), html.EscapeString(s.Var), s.Digest, s.TookMS,
+			s.Progress.CPUMS, s.Progress.AllocObjs, sizeString(s.Progress.AllocBytes),
 			s.Progress.SpansDone, s.Progress.SpansSeen, s.Progress.SamplesOut, s.Progress.RegionsOut,
 			members)
 	}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func costTree() *Span {
+	scan := &Span{Op: "SCAN", Mode: "serial", DurationNS: 2e6,
+		RegionsOut: 1000, CPUNS: 1e6, AllocObjs: 100, AllocBytes: 10000}
+	sel := &Span{Op: "SELECT", Mode: "serial", DurationNS: 6e6,
+		RegionsIn: 1000, RegionsOut: 500, CPUNS: 4e6, AllocObjs: 300, AllocBytes: 30000}
+	sel.Children = []*Span{scan}
+	return sel
+}
+
+func TestCostRegistryObserveTree(t *testing.T) {
+	c := NewCostRegistry()
+	c.ObserveTree(costTree())
+	c.ObserveTree(costTree())
+	rows := c.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (SCAN, SELECT)", len(rows))
+	}
+	// Sorted by op: SCAN first.
+	scan, sel := rows[0], rows[1]
+	if scan.Op != "SCAN" || sel.Op != "SELECT" {
+		t.Fatalf("order = %s, %s", scan.Op, sel.Op)
+	}
+	if scan.Spans != 2 || scan.Regions != 2000 {
+		t.Errorf("SCAN totals = %+v", scan)
+	}
+	// SCAN self = its own values (no children): 2e6 ns over 1000 regions.
+	if scan.NSPerRegion != 2000 || scan.CPUNSPerRegion != 1000 {
+		t.Errorf("SCAN unit costs = %+v", scan)
+	}
+	// SELECT self: wall 6e6-2e6=4e6 over 1000 in-regions; cpu 4e6-1e6=3e6.
+	if sel.NSPerRegion != 4000 || sel.CPUNSPerRegion != 3000 {
+		t.Errorf("SELECT unit costs = %+v", sel)
+	}
+	if sel.AllocsPerRegion != 0.2 || sel.BytesPerRegion != 20 {
+		t.Errorf("SELECT alloc costs = %+v", sel)
+	}
+}
+
+func TestCostRegistrySkipsCachedAndRemote(t *testing.T) {
+	c := NewCostRegistry()
+	root := costTree()
+	root.CacheHit = true
+	root.Children[0].Remote = true
+	c.ObserveTree(root)
+	if rows := c.Snapshot(); len(rows) != 0 {
+		t.Errorf("cached/remote spans counted: %+v", rows)
+	}
+	c.ObserveTree(nil)
+	var nilReg *CostRegistry
+	nilReg.ObserveTree(costTree())
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot != nil")
+	}
+}
+
+func TestCostRegistryFusionBuckets(t *testing.T) {
+	c := NewCostRegistry()
+	fused := &Span{Op: "SELECT", Mode: "stream", Fused: []string{"SELECT", "PROJECT"},
+		DurationNS: 1e6, RegionsIn: 100}
+	plain := &Span{Op: "SELECT", Mode: "stream", DurationNS: 2e6, RegionsIn: 100}
+	c.ObserveTree(fused)
+	c.ObserveTree(plain)
+	rows := c.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want separate fused/unfused buckets", len(rows))
+	}
+	// Unfused sorts before fused within the same op+mode.
+	if rows[0].Fused || !rows[1].Fused {
+		t.Errorf("sort order: %+v", rows)
+	}
+}
+
+func TestObserveQueryProfileFeedsHistograms(t *testing.T) {
+	root := costTree()
+	ObserveQueryProfile(root)
+	ObserveQueryProfile(nil) // safe
+	var buf strings.Builder
+	if err := Default().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"genogo_query_cpu_seconds_bucket{mode=\"serial\"",
+		"genogo_query_allocs_bucket{mode=\"serial\"",
+		"genogo_query_alloc_bytes_bucket{mode=\"serial\"",
+		"genogo_cost_self_ns_total{op=\"SELECT\",mode=\"serial\",fused=\"no\"}",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+func TestCostRegistryConcurrent(t *testing.T) {
+	c := NewCostRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if g%2 == 0 {
+					c.ObserveTree(costTree())
+				} else {
+					c.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rows := c.Snapshot()
+	if len(rows) != 2 || rows[0].Spans != 400 {
+		t.Errorf("after concurrent observes: %+v", rows)
+	}
+}

@@ -39,9 +39,35 @@ func (k Kind) String() string {
 // latency ladder from 1ms to 10s.
 var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
-// labelKeySep joins label values into a series key; it cannot appear in
-// reasonable label values (it is an ASCII unit separator).
+// labelKeySep joins label values into a series key (an ASCII unit
+// separator). Values are escaped by seriesKey before joining, so even a
+// hostile label value containing the separator cannot collide two series or
+// corrupt the exposition.
 const labelKeySep = "\x1f"
+
+// seriesKey builds the injective map key for one label-value tuple:
+// backslashes and separators inside values are escaped, so distinct tuples
+// always produce distinct keys (["a\x1f", "b"] vs ["a", "\x1fb"]). The
+// original values are stored alongside the series — the key is never
+// decoded.
+func seriesKey(values []string) string {
+	needEscape := false
+	for _, v := range values {
+		if strings.ContainsAny(v, `\`+labelKeySep) {
+			needEscape = true
+			break
+		}
+	}
+	if !needEscape {
+		return strings.Join(values, labelKeySep) // fast path
+	}
+	esc := make([]string, len(values))
+	for i, v := range values {
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		esc[i] = strings.ReplaceAll(v, labelKeySep, `\s`)
+	}
+	return strings.Join(esc, labelKeySep)
+}
 
 // Registry holds metric families. Registration is idempotent: asking for an
 // already-registered name returns the existing family's handles, so tests
@@ -50,6 +76,16 @@ const labelKeySep = "\x1f"
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	onScrape []func()
+}
+
+// OnScrape registers a hook that runs at the start of every WriteText — the
+// place to refresh scrape-time values like uptime. Hooks run outside the
+// registry lock and must be safe for concurrent scrapes.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -66,8 +102,9 @@ type family struct {
 	buckets []float64 // histograms only
 
 	mu     sync.Mutex
-	series map[string]any // label-values key -> *Counter | *Gauge | *Histogram
-	keys   []string       // insertion-ordered keys, sorted at exposition
+	series map[string]any      // label-values key -> *Counter | *Gauge | *Histogram
+	vals   map[string][]string // key -> the original label values (keys are escaped, never decoded)
+	keys   []string            // insertion-ordered keys, sorted at exposition
 }
 
 // register returns the family for name, creating it on first use. A name
@@ -88,6 +125,7 @@ func (r *Registry) register(name, help string, kind Kind, labels []string, bucke
 		name: name, help: help, kind: kind,
 		labels: append([]string(nil), labels...),
 		series: make(map[string]any),
+		vals:   make(map[string][]string),
 	}
 	if kind == KindHistogram {
 		if len(buckets) == 0 {
@@ -106,7 +144,7 @@ func (f *family) get(values []string, mk func() any) any {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
 	}
-	key := strings.Join(values, labelKeySep)
+	key := seriesKey(values)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if s, ok := f.series[key]; ok {
@@ -114,6 +152,7 @@ func (f *family) get(values []string, mk func() any) any {
 	}
 	s := mk()
 	f.series[key] = s
+	f.vals[key] = append([]string(nil), values...)
 	f.keys = append(f.keys, key)
 	return s
 }
@@ -274,6 +313,12 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 // scrape always advertises every metric the process can produce.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
@@ -301,16 +346,15 @@ func (f *family) writeText(b *strings.Builder) {
 	f.mu.Lock()
 	keys := append([]string(nil), f.keys...)
 	series := make(map[string]any, len(keys))
+	vals := make(map[string][]string, len(keys))
 	for _, k := range keys {
 		series[k] = f.series[k]
+		vals[k] = f.vals[k]
 	}
 	f.mu.Unlock()
 	sort.Strings(keys)
 	for _, key := range keys {
-		var values []string
-		if key != "" || len(f.labels) > 0 {
-			values = strings.Split(key, labelKeySep)
-		}
+		values := vals[key]
 		switch m := series[key].(type) {
 		case *Counter:
 			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, ""), m.Value())

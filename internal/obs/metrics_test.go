@@ -173,3 +173,105 @@ func TestMetricsMismatchPanics(t *testing.T) {
 	}()
 	r.Gauge("dup", "x")
 }
+
+// TestMetricsExpositionConformance pins the 0.0.4 text-format escaping rules
+// for label values: backslash, double quote, and newline must escape; and a
+// hostile value containing the internal series-key separator must neither
+// corrupt the rendered value nor collide with a different value tuple.
+func TestMetricsExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("paths_total", "Per-path hits.", "path")
+	v.With(`C:\data\"x"` + "\nline2").Inc()
+	v.With("a\x1fb").Add(5)
+
+	two := r.CounterVec("pair_total", "Two-label family.", "a", "b")
+	two.With("x\x1f", "y").Inc()
+	two.With("x", "\x1fy").Add(3) // must stay a distinct series
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	// 0.0.4 label-value escaping: \ -> \\, " -> \", newline -> \n.
+	if !strings.Contains(text, `path="C:\\data\\\"x\"\nline2"`) {
+		t.Errorf("escaping not conformant:\n%s", text)
+	}
+	// The separator char passes through as-is (it is not escaped by the
+	// format), but the full value must survive: both halves on one line.
+	if !strings.Contains(text, "path=\"a\x1fb\"") {
+		t.Errorf("separator-containing value corrupted:\n%s", text)
+	}
+	if !strings.Contains(text, "pair_total{a=\"x\x1f\",b=\"y\"} 1") ||
+		!strings.Contains(text, "pair_total{a=\"x\",b=\"\x1fy\"} 3") {
+		t.Errorf("separator-containing tuples collided:\n%s", text)
+	}
+	// Exposition lines must parse: every non-comment line is name{...} value.
+	for _, line := range strings.Split(strings.ReplaceAll(text, "\\\n", ""), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.LastIndex(line, " ") <= 0 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestMetricsSeriesKeyInjective(t *testing.T) {
+	cases := [][2][]string{
+		{{"a\x1f", "b"}, {"a", "\x1fb"}},
+		{{`a\`, "b"}, {"a", `\b`}},
+		{{`a\s`, "b"}, {"a\x1fs", "b"}},
+	}
+	for _, c := range cases {
+		if seriesKey(c[0]) == seriesKey(c[1]) {
+			t.Errorf("seriesKey collision: %q vs %q", c[0], c[1])
+		}
+	}
+	// Same tuple -> same key (fetch returns the same series).
+	if seriesKey([]string{"x\x1f", "y"}) != seriesKey([]string{"x\x1f", "y"}) {
+		t.Error("seriesKey not deterministic")
+	}
+}
+
+func TestMetricsBuildInfoAndUptime(t *testing.T) {
+	var b strings.Builder
+	if err := Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "genogo_build_info{version=") ||
+		!strings.Contains(text, "go_version=\"go") {
+		t.Errorf("build info missing:\n%s", grepLines(text, "genogo_build_info"))
+	}
+	if !strings.Contains(text, "# TYPE genogo_uptime_seconds gauge") {
+		t.Error("uptime gauge not registered")
+	}
+}
+
+func TestMetricsOnScrapeHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("refreshed", "Set by the scrape hook.")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(int64(n)) })
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	_ = r.WriteText(&b)
+	if n != 2 {
+		t.Errorf("hook ran %d times, want 2", n)
+	}
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

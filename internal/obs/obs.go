@@ -42,13 +42,17 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Mount registers the observability endpoints on a mux: /metrics serving the
-// registry, /debug/queries serving the process-wide query console, plus the
-// /debug/pprof profiling handlers. Every serving binary (gmqld, genomenet
-// host) calls this so operators get engine profiles, live query state, and
-// runtime profiles from the same port the service answers on.
+// registry, /debug/queries serving the process-wide query console, /debug/prof
+// serving the continuous profiler's capture ring, /debug/costs serving the
+// operator cost registry, plus the /debug/pprof profiling handlers. Every
+// serving binary (gmqld, genomenet host) calls this so operators get engine
+// profiles, live query state, and runtime profiles from the same port the
+// service answers on.
 func Mount(mux *http.ServeMux, r *Registry) {
 	mux.Handle("/metrics", r.Handler())
 	MountQueries(mux, Queries())
+	MountProf(mux, Prof())
+	MountCosts(mux, Costs())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

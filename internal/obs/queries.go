@@ -187,6 +187,12 @@ type Progress struct {
 	SpansDone  int `json:"spans_done"`
 	SamplesOut int `json:"samples_out"`
 	RegionsOut int `json:"regions_out"`
+	// Resource attribution accumulated over finished operators: CPU time and
+	// heap allocations the query has been charged so far (final totals once
+	// the query finishes).
+	CPUMS      float64 `json:"cpu_ms"`
+	AllocObjs  int64   `json:"alloc_objs"`
+	AllocBytes int64   `json:"alloc_bytes"`
 }
 
 // Progress walks a snapshot of the entry's span tree.
@@ -198,6 +204,10 @@ func (e *QueryEntry) Progress() Progress {
 			p.SpansDone++
 			p.SamplesOut += sp.SamplesOut
 			p.RegionsOut += sp.RegionsOut
+			r := sp.SelfRes()
+			p.CPUMS += float64(r.CPUNS) / 1e6
+			p.AllocObjs += r.AllocObjs
+			p.AllocBytes += r.AllocBytes
 		}
 	}
 	return p

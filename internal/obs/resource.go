@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Resource attribution: where did a query's CPU time and allocations go?
+//
+// Wall time alone cannot answer the questions a perf PR raises — an operator
+// can be slow because it burns CPU, because it allocates furiously, or
+// because it waits on something. ResUsage snapshots the runtime's own
+// counters (runtime/metrics, ~500ns a read) so spans can record the delta
+// observed across an operator's execution window:
+//
+//   - CPU time of user Go code (/cpu/classes/user:cpu-seconds),
+//   - heap allocations, objects and bytes (/gc/heap/allocs:*).
+//
+// The counters are process-wide, which fixes the attribution semantics:
+// deltas are exact when operators execute one at a time (the serial and
+// batch backends, and any otherwise idle process) and are an upper bound
+// when concurrent work overlaps the window (the stream backend's concurrent
+// binary-operator inputs, or other queries on a busy server). Self values
+// (total minus children) clamp at zero, like SelfNS.
+
+// resNames are the runtime/metrics samples attribution reads, in ResUsage
+// field order.
+var resNames = [...]string{
+	"/cpu/classes/user:cpu-seconds",
+	"/gc/heap/allocs:objects",
+	"/gc/heap/allocs:bytes",
+}
+
+// ResUsage is a point-in-time reading of the process-wide resource counters,
+// or (via Sub) the delta between two readings.
+type ResUsage struct {
+	// CPUNS is CPU time spent running user Go code, in nanoseconds.
+	CPUNS int64
+	// AllocObjs and AllocBytes are cumulative heap allocations.
+	AllocObjs  int64
+	AllocBytes int64
+}
+
+// ReadRes samples the process's resource counters.
+func ReadRes() ResUsage {
+	var s [len(resNames)]metrics.Sample
+	for i := range s {
+		s[i].Name = resNames[i]
+	}
+	metrics.Read(s[:])
+	return ResUsage{
+		CPUNS:      int64(s[0].Value.Float64() * float64(time.Second)),
+		AllocObjs:  int64(s[1].Value.Uint64()),
+		AllocBytes: int64(s[2].Value.Uint64()),
+	}
+}
+
+// Sub returns the delta u - base, clamping each component at zero (the CPU
+// estimate is not guaranteed monotonic between reads).
+func (u ResUsage) Sub(base ResUsage) ResUsage {
+	d := ResUsage{
+		CPUNS:      u.CPUNS - base.CPUNS,
+		AllocObjs:  u.AllocObjs - base.AllocObjs,
+		AllocBytes: u.AllocBytes - base.AllocBytes,
+	}
+	if d.CPUNS < 0 {
+		d.CPUNS = 0
+	}
+	if d.AllocObjs < 0 {
+		d.AllocObjs = 0
+	}
+	if d.AllocBytes < 0 {
+		d.AllocBytes = 0
+	}
+	return d
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func slowTestLog() *SlowQueryLog {
+	return &SlowQueryLog{
+		Threshold: time.Millisecond,
+		Logger:    newTextLogger(io.Discard),
+		Profiler:  &Profiler{}, // disabled: keep tests from polluting Prof()
+	}
+}
+
+func slowRoot(id string, took time.Duration) *Span {
+	root := NewSpan("MAP")
+	root.Detail = "MAP " + id
+	root.DurationNS = int64(took)
+	return root
+}
+
+func TestSlowlogRingRetainsNewestFirst(t *testing.T) {
+	l := slowTestLog()
+	for i := 0; i < 3; i++ {
+		l.ObserveQuery("q", "Q"+string(rune('a'+i)), slowRoot("x", 5*time.Millisecond))
+	}
+	recs := l.Recent()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d, want 3", len(recs))
+	}
+	if recs[0].Query != "Qc" || recs[2].Query != "Qa" {
+		t.Errorf("order = %q..%q, want newest first", recs[0].Query, recs[2].Query)
+	}
+	if recs[0].Status != "slow" || recs[0].TookMS < 4 {
+		t.Errorf("record = %+v", recs[0])
+	}
+}
+
+func TestSlowlogRingEntryCap(t *testing.T) {
+	l := slowTestLog()
+	l.MaxEntries = 4
+	before := metricSlowlogDropped.Value()
+	for i := 0; i < 10; i++ {
+		l.ObserveKilled("", "K", "killed", "deadline", time.Second)
+	}
+	if got := len(l.Recent()); got != 4 {
+		t.Fatalf("ring holds %d, want 4", got)
+	}
+	if dropped := metricSlowlogDropped.Value() - before; dropped != 6 {
+		t.Errorf("dropped counter advanced %d, want 6", dropped)
+	}
+}
+
+func TestSlowlogRingByteCap(t *testing.T) {
+	l := slowTestLog()
+	l.MaxBytes = 2000
+	big := strings.Repeat("x", 200)
+	for i := 0; i < 50; i++ {
+		l.ObserveKilled("", big, "shed", "queue full", 0)
+	}
+	recs := l.Recent()
+	if len(recs) >= 50 {
+		t.Fatalf("byte cap did not evict: %d records", len(recs))
+	}
+	total := 0
+	for i := range recs {
+		total += recs[i].sizeBytes()
+	}
+	if total > 2000+recs[0].sizeBytes() {
+		t.Errorf("retained ~%d bytes, cap 2000", total)
+	}
+}
+
+func TestSlowlogQueryTruncation(t *testing.T) {
+	l := slowTestLog()
+	long := strings.Repeat("SELECT ", 100) // 700 chars
+	l.ObserveKilled("", long, "killed", "budget", time.Second)
+	recs := l.Recent()
+	if len(recs[0].Query) > slowlogMaxQueryLen+3 {
+		t.Errorf("stored query length %d, want <= %d", len(recs[0].Query), slowlogMaxQueryLen+3)
+	}
+	if !strings.HasSuffix(recs[0].Query, "...") {
+		t.Errorf("truncated query missing ellipsis")
+	}
+}
+
+func TestSlowlogRecordsResources(t *testing.T) {
+	l := slowTestLog()
+	root := slowRoot("r", 10*time.Millisecond)
+	root.CPUNS = 7e6
+	root.AllocObjs = 42
+	root.AllocBytes = 4096
+	l.ObserveQuery("q-res", "R = ...", root)
+	rec := l.Recent()[0]
+	if rec.CPUMS != 7 || rec.AllocObjs != 42 || rec.AllocBytes != 4096 {
+		t.Errorf("record resources = %+v", rec)
+	}
+	if len(rec.Top) == 0 || rec.Top[0].Op != "MAP" {
+		t.Errorf("record top spans = %+v", rec.Top)
+	}
+}
+
+func TestSlowlogRetentionDisabled(t *testing.T) {
+	l := slowTestLog()
+	l.MaxEntries = -1
+	l.ObserveKilled("", "K", "killed", "deadline", time.Second)
+	if got := l.Recent(); len(got) != 0 {
+		t.Errorf("retention disabled but ring holds %d", len(got))
+	}
+	var nilLog *SlowQueryLog
+	if nilLog.Recent() != nil {
+		t.Error("nil log Recent() != nil")
+	}
+}
+
+func TestSlowlogConcurrent(t *testing.T) {
+	l := slowTestLog()
+	l.MaxEntries = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if g%2 == 0 {
+					l.ObserveKilled("", "K", "shed", "queue full", 0)
+				} else {
+					l.Recent()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(l.Recent()); got > 8 {
+		t.Errorf("ring overflowed: %d", got)
+	}
+}

@@ -39,6 +39,15 @@ type Span struct {
 	// Workers is the effective parallelism the worker pool could use for
 	// this operator (clamped to the input size, 1 for serial execution).
 	Workers int `json:"workers,omitempty"`
+	// CPUNS is the CPU time (user Go code) the process spent during this
+	// operator's execution window, including its inputs. Sampling is
+	// process-wide (see ResUsage): exact for serial execution, an upper
+	// bound when concurrent work overlaps the window.
+	CPUNS int64 `json:"cpu_ns,omitempty"`
+	// AllocObjs and AllocBytes are the heap allocations observed during the
+	// window, including inputs — same process-wide semantics as CPUNS.
+	AllocObjs  int64 `json:"alloc_objs,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 	// Fused lists the operator names of the fusion chain this span heads
 	// (stream backend only); nil for unfused operators.
 	Fused []string `json:"fused,omitempty"`
@@ -55,6 +64,10 @@ type Span struct {
 	Children []*Span `json:"children,omitempty"`
 
 	mu sync.Mutex
+	// resBase is the resource baseline StartRes recorded; resArmed guards
+	// FinishRes so an unarmed span never reports garbage deltas.
+	resBase  ResUsage
+	resArmed bool
 }
 
 // NewSpan starts a span for one operator.
@@ -81,6 +94,44 @@ func (s *Span) Finish(start time.Time) {
 	s.mu.Lock()
 	s.DurationNS = time.Since(start).Nanoseconds()
 	s.mu.Unlock()
+}
+
+// StartRes arms resource attribution: the span records the process's
+// resource counters now, and FinishRes will attribute the delta to it.
+func (s *Span) StartRes() {
+	if s == nil {
+		return
+	}
+	base := ReadRes()
+	s.mu.Lock()
+	s.resBase = base
+	s.resArmed = true
+	s.mu.Unlock()
+}
+
+// FinishRes attributes the resource delta since StartRes to the span. A
+// span that was never armed is left untouched.
+func (s *Span) FinishRes() {
+	if s == nil {
+		return
+	}
+	now := ReadRes()
+	s.mu.Lock()
+	if s.resArmed {
+		d := now.Sub(s.resBase)
+		s.CPUNS, s.AllocObjs, s.AllocBytes = d.CPUNS, d.AllocObjs, d.AllocBytes
+	}
+	s.mu.Unlock()
+}
+
+// Res reads the span's attributed resource usage.
+func (s *Span) Res() ResUsage {
+	if s == nil {
+		return ResUsage{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ResUsage{CPUNS: s.CPUNS, AllocObjs: s.AllocObjs, AllocBytes: s.AllocBytes}
 }
 
 // SetOutput records the span's output dataset shape.
@@ -188,6 +239,7 @@ func (s *Span) Snapshot() *Span {
 		SamplesIn:  s.SamplesIn, RegionsIn: s.RegionsIn,
 		SamplesOut: s.SamplesOut, RegionsOut: s.RegionsOut,
 		Workers: s.Workers, CacheHit: s.CacheHit, Remote: s.Remote,
+		CPUNS: s.CPUNS, AllocObjs: s.AllocObjs, AllocBytes: s.AllocBytes,
 	}
 	if len(s.Fused) > 0 {
 		c.Fused = append([]string(nil), s.Fused...)
@@ -229,13 +281,29 @@ func (s *Span) SelfNS() int64 {
 	return self
 }
 
-// ZeroDurations recursively clears every duration — golden tests compare
-// span trees structurally, with timings removed.
+// SelfRes is the span's own resource usage: the attributed deltas minus the
+// children's (the share of this operator's kernel rather than its inputs).
+// Concurrent children can push the naive subtraction negative; each
+// component clamps at zero, like SelfNS.
+func (s *Span) SelfRes() ResUsage {
+	var kids ResUsage
+	for _, c := range s.Children {
+		kids.CPUNS += c.CPUNS
+		kids.AllocObjs += c.AllocObjs
+		kids.AllocBytes += c.AllocBytes
+	}
+	return ResUsage{CPUNS: s.CPUNS, AllocObjs: s.AllocObjs, AllocBytes: s.AllocBytes}.Sub(kids)
+}
+
+// ZeroDurations recursively clears every duration and every attributed
+// resource delta — golden tests compare span trees structurally, with the
+// machine-dependent measurements removed.
 func (s *Span) ZeroDurations() {
 	if s == nil {
 		return
 	}
 	s.DurationNS = 0
+	s.CPUNS, s.AllocObjs, s.AllocBytes = 0, 0, 0
 	for _, c := range s.Children {
 		c.ZeroDurations()
 	}
@@ -278,6 +346,20 @@ func (s *Span) Render() string {
 	return b.String()
 }
 
+// sizeString renders a byte count with a binary-ish unit, one decimal.
+func sizeString(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 func (s *Span) render(b *strings.Builder, indent int) {
 	if s == nil {
 		return
@@ -315,6 +397,14 @@ func (s *Span) render(b *strings.Builder, indent int) {
 	}
 	b.WriteString("]")
 	fmt.Fprintf(b, " time=%.1fms", float64(s.DurationNS)/1e6)
+	// Resource attribution prints only when recorded, so profiles without it
+	// (and golden trees with measurements zeroed) render exactly as before.
+	if s.CPUNS > 0 {
+		fmt.Fprintf(b, " cpu=%.1fms", float64(s.CPUNS)/1e6)
+	}
+	if s.AllocObjs > 0 {
+		fmt.Fprintf(b, " allocs=%d/%s", s.AllocObjs, sizeString(s.AllocBytes))
+	}
 	if s.SamplesIn > 0 || s.RegionsIn > 0 {
 		fmt.Fprintf(b, " in=%ds/%dr", s.SamplesIn, s.RegionsIn)
 	}
