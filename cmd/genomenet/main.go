@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"genogo/internal/catalog"
 	"genogo/internal/formats"
 	"genogo/internal/genomenet"
 	"genogo/internal/obs"
@@ -95,7 +96,10 @@ func setupHost(args []string, out io.Writer) (http.Handler, string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/", h.Handler())
 	obs.Mount(mux, obs.Default())
-	obs.MountState(mux, "/debug/storage", func() any { return formats.IntegritySnapshot() })
+	obs.MountState(mux, "/debug/storage",
+		"storage integrity: per-dataset manifest verification reports",
+		func() any { return formats.IntegritySnapshot() })
+	catalog.MountRepo(mux, catalog.Repo())
 	return mux, *addr, nil
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -26,11 +27,14 @@ func TestDebugEndpointsContentTypes(t *testing.T) {
 	defer ts.Close()
 
 	cases := map[string]string{
-		"/metrics":       "text/plain; version=0.0.4; charset=utf-8",
-		"/debug/storage": "application/json",
-		"/debug/prof":    "application/json",
-		"/debug/costs":   "application/json",
-		"/debug/slowlog": "application/json",
+		"/metrics":         "text/plain; version=0.0.4; charset=utf-8",
+		"/debug/storage":   "application/json",
+		"/debug/prof":      "application/json",
+		"/debug/costs":     "application/json",
+		"/debug/slowlog":   "application/json",
+		"/debug/estimates": "application/json",
+		"/debug/repo":      "text/html; charset=utf-8",
+		"/debug/":          "text/html; charset=utf-8",
 	}
 	for path, want := range cases {
 		resp, err := http.Get(ts.URL + path)
@@ -72,6 +76,70 @@ func TestDebugEndpointsContentTypes(t *testing.T) {
 	}
 }
 
+// TestRepoConsoleAndIndex: the daemon serves the repository catalog for its
+// loaded datasets on /debug/repo, and the /debug/ index page lists the
+// mounted debug surface.
+func TestRepoConsoleAndIndex(t *testing.T) {
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	n, err := setup([]string{"-data", dir, "-mode", "serial"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.srv.Handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/repo?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Datasets []struct {
+			Name   string `json:"name"`
+			Source string `json:"source"`
+		} `json:"datasets"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, d := range listing.Datasets {
+		got[d.Name] = d.Source
+	}
+	for _, name := range []string{"ENCODE", "ANNOTATIONS"} {
+		if got[name] != "manifest" {
+			t.Errorf("%s source = %q, want manifest (sources: %v)", name, got[name], got)
+		}
+	}
+
+	// The per-dataset drill-down resolves by name.
+	resp, err = http.Get(ts.URL + "/debug/repo/ENCODE?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "chroms") {
+		t.Errorf("detail status = %d body = %.120s", resp.StatusCode, body)
+	}
+
+	// The index names every mounted endpoint.
+	resp, err = http.Get(ts.URL + "/debug/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, p := range []string{"/debug/repo", "/debug/estimates", "/debug/queries",
+		"/debug/costs", "/debug/storage", "/metrics"} {
+		if !strings.Contains(string(body), p) {
+			t.Errorf("/debug/ index missing %s", p)
+		}
+	}
+}
+
 // TestDebugEndpointsConcurrentScrapes hammers every debug endpoint while
 // queries execute — the race detector proves snapshot stability mid-query.
 func TestDebugEndpointsConcurrentScrapes(t *testing.T) {
@@ -85,7 +153,8 @@ func TestDebugEndpointsConcurrentScrapes(t *testing.T) {
 	defer ts.Close()
 
 	paths := []string{"/metrics", "/debug/storage", "/debug/prof", "/debug/costs",
-		"/debug/slowlog", "/debug/queries?format=json"}
+		"/debug/slowlog", "/debug/queries?format=json", "/debug/repo?format=json",
+		"/debug/estimates", "/debug/"}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for _, p := range paths {

@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"genogo/internal/catalog"
 	"genogo/internal/engine"
 	"genogo/internal/federation"
 	"genogo/internal/formats"
@@ -212,16 +213,19 @@ func setup(args []string, out io.Writer) (*node, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	storageState := func() any { return formats.IntegritySnapshot() }
+	const storageDesc = "storage integrity: per-dataset manifest verification reports"
 	var metricsSrv *http.Server
 	if *metricsAddr == "" {
 		obs.Mount(mux, obs.Default())
-		obs.MountState(mux, "/debug/storage", storageState)
+		obs.MountState(mux, "/debug/storage", storageDesc, storageState)
 		obs.MountSlowlog(mux, srv.SlowLog)
+		catalog.MountRepo(mux, catalog.Repo())
 	} else {
 		mmux := http.NewServeMux()
 		obs.Mount(mmux, obs.Default())
-		obs.MountState(mmux, "/debug/storage", storageState)
+		obs.MountState(mmux, "/debug/storage", storageDesc, storageState)
 		obs.MountSlowlog(mmux, srv.SlowLog)
+		catalog.MountRepo(mmux, catalog.Repo())
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
 		fmt.Fprintf(out, "metrics on %s\n", *metricsAddr)
 	}

@@ -1,0 +1,238 @@
+package catalog
+
+import (
+	"math"
+
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+)
+
+// Window is what a zone map can check about a region predicate: an optional
+// chromosome equality plus a coordinate reach [Lo, Hi] every satisfying
+// region must touch. It is a sound abstraction — a partition Prunes reports
+// prunable is guaranteed to contribute zero output — derived only from
+// conjunctive comparisons against the fixed coordinate attributes; anything
+// the analysis does not understand simply fails to tighten the window.
+type Window struct {
+	// Chrom constrains satisfying regions to one chromosome when HasChrom.
+	Chrom    string
+	HasChrom bool
+	// Impossible marks a contradictory predicate (chr == 'chr1' AND
+	// chr == 'chr2'): every partition is prunable.
+	Impossible bool
+	// Lo is the largest K from `start >= K` / `stop >= K` clauses: every
+	// satisfying region has stop > Lo... more precisely reaches coordinate
+	// Lo or beyond. Hi is the smallest K from `start <= K` / `stop <= K`.
+	Lo, Hi int64
+}
+
+// Constrained reports whether the window can prune anything at all.
+func (w Window) Constrained() bool {
+	return w.Impossible || w.HasChrom || w.Lo > math.MinInt64 || w.Hi < math.MaxInt64
+}
+
+// Prunes reports whether a partition on chrom with zone extents
+// [minStart, maxStop) provably cannot contain a region satisfying the
+// predicate the window was extracted from.
+func (w Window) Prunes(chrom string, minStart, maxStop int64) bool {
+	if w.Impossible {
+		return true
+	}
+	if w.HasChrom && chrom != w.Chrom {
+		return true
+	}
+	// Every region in the zone lies within [minStart, maxStop). A clause
+	// start >= K or stop >= K needs the region to reach K: impossible when
+	// maxStop < K (strict stop >= K) — for start >= K it is impossible when
+	// maxStop <= K since start < stop <= maxStop. Using maxStop < K is the
+	// conservative (never wrong) common form. Symmetrically for Hi.
+	if w.Lo > math.MinInt64 && maxStop < w.Lo {
+		return true
+	}
+	if w.Hi < math.MaxInt64 && minStart > w.Hi {
+		return true
+	}
+	return false
+}
+
+// Overlap estimates the fraction of a zone's coordinate span the window
+// covers, for selectivity estimation: 1 when unconstrained, 0 when pruned,
+// linear interpolation otherwise (uniform-density assumption — the classic
+// System-R refinement, but against measured extents).
+func (w Window) Overlap(chrom string, minStart, maxStop int64) float64 {
+	if w.Prunes(chrom, minStart, maxStop) {
+		return 0
+	}
+	span := float64(maxStop - minStart)
+	if span <= 0 {
+		return 1
+	}
+	lo, hi := float64(minStart), float64(maxStop)
+	if w.Lo > math.MinInt64 && float64(w.Lo) > lo {
+		lo = float64(w.Lo)
+	}
+	if w.Hi < math.MaxInt64 && float64(w.Hi) < hi {
+		hi = float64(w.Hi)
+	}
+	f := (hi - lo) / span
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// PredicateWindow extracts the zone-checkable window of a region predicate.
+// ok is false when the predicate has no conjunctive coordinate structure the
+// zone map can use (disjunctions, negations, arithmetic, attribute-only
+// clauses) — the caller then skips pruning entirely rather than guessing.
+func PredicateWindow(pred expr.Node) (Window, bool) {
+	w := Window{Lo: math.MinInt64, Hi: math.MaxInt64}
+	collectWindow(pred, &w)
+	return w, w.Constrained()
+}
+
+// collectWindow folds one conjunct into the window. Conjunctions recurse;
+// every other unrecognized shape contributes nothing (stays sound: a wider
+// window only under-prunes).
+func collectWindow(n expr.Node, w *Window) {
+	switch e := n.(type) {
+	case expr.And:
+		collectWindow(e.Left, w)
+		collectWindow(e.Right, w)
+	case expr.Cmp:
+		attr, val, op, ok := normalizeCmp(e)
+		if !ok {
+			return
+		}
+		switch attr {
+		case gdm.FieldChrom:
+			if op != expr.CmpEq || val.Kind() != gdm.KindString {
+				return
+			}
+			c := val.Str()
+			if w.HasChrom && w.Chrom != c {
+				w.Impossible = true
+				return
+			}
+			w.Chrom, w.HasChrom = c, true
+		case gdm.FieldLeft, gdm.FieldRight:
+			k, ok := val.AsFloat()
+			if !ok {
+				return
+			}
+			bound := int64(k)
+			switch op {
+			case expr.CmpGe:
+				if bound > w.Lo {
+					w.Lo = bound
+				}
+			case expr.CmpGt:
+				if bound+1 > w.Lo {
+					w.Lo = bound + 1
+				}
+			case expr.CmpLe:
+				if bound < w.Hi {
+					w.Hi = bound
+				}
+			case expr.CmpLt:
+				if bound-1 < w.Hi {
+					w.Hi = bound - 1
+				}
+			case expr.CmpEq:
+				if bound > w.Lo {
+					w.Lo = bound
+				}
+				if bound < w.Hi {
+					w.Hi = bound
+				}
+			}
+		}
+	}
+}
+
+// normalizeCmp rewrites a comparison into (fixed attribute, constant, op)
+// form, flipping the operator when the attribute sits on the right.
+func normalizeCmp(e expr.Cmp) (attr string, val gdm.Value, op expr.CmpOp, ok bool) {
+	if a, isAttr := e.Left.(expr.Attr); isAttr {
+		if c, isConst := e.Right.(expr.Const); isConst {
+			if fixed, isFixed := gdm.CanonicalFixed(a.Name); isFixed {
+				return fixed, c.Value, e.Op, true
+			}
+		}
+		return "", gdm.Null(), 0, false
+	}
+	if c, isConst := e.Left.(expr.Const); isConst {
+		if a, isAttr := e.Right.(expr.Attr); isAttr {
+			if fixed, isFixed := gdm.CanonicalFixed(a.Name); isFixed {
+				return fixed, c.Value, flipCmp(e.Op), true
+			}
+		}
+	}
+	return "", gdm.Null(), 0, false
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.CmpLt:
+		return expr.CmpGt
+	case expr.CmpLe:
+		return expr.CmpGe
+	case expr.CmpGt:
+		return expr.CmpLt
+	case expr.CmpGe:
+		return expr.CmpLe
+	default:
+		return op
+	}
+}
+
+// EstimateSelect predicts the regions surviving a region predicate against
+// this stats block: per partition, the window's coordinate overlap scaled by
+// the partition's region count; fallback is the caller's flat selectivity
+// constant. surviving samples counts samples keeping at least one
+// non-pruned partition.
+func (st *DatasetStats) EstimateSelect(w Window) (regions int, samples int) {
+	for i := range st.Samples {
+		kept := 0
+		for _, cs := range st.Samples[i].Chroms {
+			kept += int(math.Round(w.Overlap(cs.Chrom, cs.MinStart, cs.MaxStop) * float64(cs.Regions)))
+		}
+		if kept > 0 || len(st.Samples[i].Chroms) == 0 {
+			samples++
+		}
+		regions += kept
+	}
+	return regions, samples
+}
+
+// SharedChromFraction reports the fraction of this block's regions lying on
+// chromosomes the other block also populates — the join estimator's
+// chromosome-coupling factor (regions on a chromosome the other side lacks
+// can never pair).
+func (st *DatasetStats) SharedChromFraction(other *DatasetStats) float64 {
+	if st == nil || other == nil {
+		return 1
+	}
+	present := make(map[string]bool)
+	for i := range other.Samples {
+		for _, cs := range other.Samples[i].Chroms {
+			present[cs.Chrom] = true
+		}
+	}
+	total, shared := 0, 0
+	for i := range st.Samples {
+		for _, cs := range st.Samples[i].Chroms {
+			total += cs.Regions
+			if present[cs.Chrom] {
+				shared += cs.Regions
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(shared) / float64(total)
+}

@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"testing"
+
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+)
+
+func attr(name string) expr.Node { return expr.Attr{Name: name} }
+func num(v int64) expr.Node      { return expr.Const{Value: gdm.Int(v)} }
+func str(v string) expr.Node     { return expr.Const{Value: gdm.Str(v)} }
+func cmp(op expr.CmpOp, l, r expr.Node) expr.Node {
+	return expr.Cmp{Op: op, Left: l, Right: r}
+}
+
+func TestCatalogPredicateWindow(t *testing.T) {
+	// chr == "chr1" AND start >= 100 AND stop <= 500
+	pred := expr.And{
+		Left: cmp(expr.CmpEq, attr("chr"), str("chr1")),
+		Right: expr.And{
+			Left:  cmp(expr.CmpGe, attr("start"), num(100)),
+			Right: cmp(expr.CmpLe, attr("stop"), num(500)),
+		},
+	}
+	w, ok := PredicateWindow(pred)
+	if !ok {
+		t.Fatal("window not constrained")
+	}
+	if !w.HasChrom || w.Chrom != "chr1" {
+		t.Fatalf("chrom = %+v", w)
+	}
+	if w.Lo != 100 || w.Hi != 500 {
+		t.Fatalf("reach = [%d, %d], want [100, 500]", w.Lo, w.Hi)
+	}
+	// Wrong chromosome: pruned regardless of coordinates.
+	if !w.Prunes("chr2", 100, 500) {
+		t.Fatal("chr2 not pruned")
+	}
+	// Zone entirely below the reach.
+	if !w.Prunes("chr1", 0, 50) {
+		t.Fatal("low zone not pruned")
+	}
+	// Zone entirely above.
+	if !w.Prunes("chr1", 600, 900) {
+		t.Fatal("high zone not pruned")
+	}
+	// Overlapping zone survives.
+	if w.Prunes("chr1", 0, 200) {
+		t.Fatal("overlapping zone wrongly pruned")
+	}
+}
+
+func TestCatalogWindowStrictAndFlipped(t *testing.T) {
+	// 100 < start (flipped: start > 100 → Lo=101), stop < 500 → Hi=499
+	pred := expr.And{
+		Left:  cmp(expr.CmpLt, num(100), attr("start")),
+		Right: cmp(expr.CmpLt, attr("stop"), num(500)),
+	}
+	w, ok := PredicateWindow(pred)
+	if !ok || w.Lo != 101 || w.Hi != 499 {
+		t.Fatalf("window = %+v ok=%v, want Lo=101 Hi=499", w, ok)
+	}
+}
+
+func TestCatalogWindowImpossible(t *testing.T) {
+	pred := expr.And{
+		Left:  cmp(expr.CmpEq, attr("chr"), str("chr1")),
+		Right: cmp(expr.CmpEq, attr("chr"), str("chr2")),
+	}
+	w, ok := PredicateWindow(pred)
+	if !ok || !w.Impossible {
+		t.Fatalf("window = %+v ok=%v, want impossible", w, ok)
+	}
+	if !w.Prunes("chr1", 0, 1000) {
+		t.Fatal("impossible predicate must prune everything")
+	}
+}
+
+func TestCatalogWindowUnanalyzable(t *testing.T) {
+	// Disjunctions must not tighten: pruning on one arm would be unsound.
+	pred := expr.Or{
+		Left:  cmp(expr.CmpEq, attr("chr"), str("chr1")),
+		Right: cmp(expr.CmpEq, attr("chr"), str("chr2")),
+	}
+	if w, ok := PredicateWindow(pred); ok {
+		t.Fatalf("disjunction produced constrained window %+v", w)
+	}
+	// Non-coordinate attributes contribute nothing.
+	if w, ok := PredicateWindow(cmp(expr.CmpGe, attr("score"), num(5))); ok {
+		t.Fatalf("score clause produced constrained window %+v", w)
+	}
+}
+
+func TestCatalogWindowOverlap(t *testing.T) {
+	w := Window{Lo: 100, Hi: 200, HasChrom: false}
+	// Zone [0, 400): the window covers [100, 200] → 1/4 of the span.
+	got := w.Overlap("chr1", 0, 400)
+	if got < 0.2 || got > 0.3 {
+		t.Fatalf("Overlap = %v, want ~0.25", got)
+	}
+	if w.Overlap("chr1", 300, 400) != 0 {
+		t.Fatal("pruned zone must overlap 0")
+	}
+}
+
+func TestCatalogEstimateSelect(t *testing.T) {
+	ds := testDataset(t, "d",
+		testSample("a", nil,
+			[3]any{"chr1", 0, 1000},
+			[3]any{"chr2", 0, 1000}),
+		testSample("b", nil, [3]any{"chr2", 0, 1000}),
+	)
+	st := Compute(ds)
+	w, ok := PredicateWindow(cmp(expr.CmpEq, attr("chr"), str("chr1")))
+	if !ok {
+		t.Fatal("no window")
+	}
+	regions, samples := st.EstimateSelect(w)
+	if regions != 1 || samples != 1 {
+		t.Fatalf("EstimateSelect = (%d, %d), want (1, 1)", regions, samples)
+	}
+}
+
+func TestCatalogSharedChromFraction(t *testing.T) {
+	a := Compute(testDataset(t, "a",
+		testSample("a1", nil, [3]any{"chr1", 0, 10}, [3]any{"chr2", 0, 10})))
+	b := Compute(testDataset(t, "b",
+		testSample("b1", nil, [3]any{"chr1", 0, 10})))
+	if f := a.SharedChromFraction(b); f != 0.5 {
+		t.Fatalf("SharedChromFraction = %v, want 0.5", f)
+	}
+	if f := b.SharedChromFraction(a); f != 1 {
+		t.Fatalf("reverse fraction = %v, want 1", f)
+	}
+	var nilStats *DatasetStats
+	if f := a.SharedChromFraction(nilStats); f != 1 {
+		t.Fatalf("nil other = %v, want 1", f)
+	}
+}

@@ -207,6 +207,7 @@ func (e *evaluator) evalUncached(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
+		observePrunableSelect(sp, in, op.Region)
 		return Select(e.cfg, in, meta, op.Region)
 	case *ProjectOp:
 		in, err := e.evalChild(op.Input, sp)
@@ -261,12 +262,14 @@ func (e *evaluator) evalUncached(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
+		observePrunableMap(sp, l, r)
 		return Map(e.cfg, l, r, op.Args)
 	case *JoinOp:
 		l, r, err := e.evalPair(op.Left, op.Right, sp)
 		if err != nil {
 			return nil, err
 		}
+		observePrunableJoin(sp, l, r, op.Args.Pred)
 		return Join(e.cfg, l, r, op.Args)
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", n)
@@ -428,6 +431,11 @@ func (e *evaluator) tryFusedChain(n Node, sp *obs.Span) (*gdm.Dataset, bool, err
 			meta, cerr = e.resolveSelectMeta(op, sp)
 			if cerr == nil {
 				st, cerr = compileSelect(e.cfg, schema, meta, op.Region)
+			}
+			if cerr == nil && i == len(chain)-1 {
+				// Only the innermost SELECT reads straight from the source;
+				// zone windows say nothing about intermediate results.
+				observePrunableSelect(sp, src, op.Region)
 			}
 		case *ProjectOp:
 			st, cerr = compileProject(schema, op.Args)

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"math"
+
+	"genogo/internal/catalog"
+	"genogo/internal/expr"
+	"genogo/internal/gdm"
+	"genogo/internal/obs"
+)
+
+// Pruning-opportunity accounting (ROADMAP item 1's measured target): traced
+// SELECT, JOIN and MAP runs consult the same per-(sample, chromosome) zone
+// windows the catalog persists and count which partitions provably
+// contribute zero output — the data a pruning storage engine would never
+// have loaded. The counts ride on the operator's span (EXPLAIN ANALYZE's
+// `prunable=`), the cost registry, and the genogo_prune_* counters; the
+// kernels themselves still process everything, so the numbers measure the
+// opportunity, not a behavior change.
+
+// zonePart is one (sample, chromosome) partition with its zone extents: the
+// in-memory equivalent of one catalog ChromStats cell.
+type zonePart struct {
+	chrom    string
+	regions  int
+	minStart int64
+	maxStop  int64
+}
+
+// zoneParts enumerates a dataset's partitions. Samples are canonically
+// sorted by (chrom, start, stop), so minStart is the run's first region;
+// maxStop needs the scan (a long region can start early and end last).
+func zoneParts(ds *gdm.Dataset) []zonePart {
+	var out []zonePart
+	for _, s := range ds.Samples {
+		for _, cs := range chromSpans(s) {
+			p := zonePart{
+				chrom: cs.chrom, regions: cs.hi - cs.lo,
+				minStart: s.Regions[cs.lo].Start, maxStop: s.Regions[cs.lo].Stop,
+			}
+			for i := cs.lo + 1; i < cs.hi; i++ {
+				if s.Regions[i].Stop > p.maxStop {
+					p.maxStop = s.Regions[i].Stop
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// chromExtent is the union of every partition window on one chromosome.
+type chromExtent struct {
+	minStart int64
+	maxStop  int64
+}
+
+func chromExtents(parts []zonePart) map[string]chromExtent {
+	out := make(map[string]chromExtent)
+	for _, p := range parts {
+		e, ok := out[p.chrom]
+		if !ok {
+			out[p.chrom] = chromExtent{p.minStart, p.maxStop}
+			continue
+		}
+		if p.minStart < e.minStart {
+			e.minStart = p.minStart
+		}
+		if p.maxStop > e.maxStop {
+			e.maxStop = p.maxStop
+		}
+		out[p.chrom] = e
+	}
+	return out
+}
+
+// observePrunableSelect records how many of a traced SELECT's input
+// partitions the region predicate's zone window prunes. Predicates with no
+// zone-checkable structure record nothing.
+func observePrunableSelect(sp *obs.Span, in *gdm.Dataset, region expr.Node) {
+	if sp == nil || in == nil || region == nil {
+		return
+	}
+	w, ok := catalog.PredicateWindow(region)
+	if !ok {
+		return
+	}
+	consulted, pparts := 0, 0
+	var pregions int64
+	for _, p := range zoneParts(in) {
+		consulted++
+		if w.Prunes(p.chrom, p.minStart, p.maxStop) {
+			pparts++
+			pregions += int64(p.regions)
+		}
+	}
+	if consulted > 0 {
+		sp.SetPrunable(consulted, pparts, pregions)
+	}
+}
+
+// observePrunableJoin records the zone-prunable partitions of a traced JOIN:
+// a partition on a chromosome the other side lacks can never pair, and with
+// a distance upper bound (DLE/DL clauses) a partition farther than the bound
+// from the other side's whole extent cannot either. MD(k) and stream clauses
+// only narrow further, so ignoring them stays sound.
+func observePrunableJoin(sp *obs.Span, left, right *gdm.Dataset, pred GenometricPred) {
+	if sp == nil || left == nil || right == nil {
+		return
+	}
+	bound, hasBound := pred.upperBound()
+	lparts, rparts := zoneParts(left), zoneParts(right)
+	lext, rext := chromExtents(lparts), chromExtents(rparts)
+	consulted, pparts := 0, 0
+	var pregions int64
+	count := func(parts []zonePart, other map[string]chromExtent) {
+		for _, p := range parts {
+			consulted++
+			e, ok := other[p.chrom]
+			prunable := !ok
+			if !prunable && hasBound {
+				prunable = p.minStart > satAdd(e.maxStop, bound) ||
+					p.maxStop < satSub(e.minStart, bound)
+			}
+			if prunable {
+				pparts++
+				pregions += int64(p.regions)
+			}
+		}
+	}
+	count(lparts, rext)
+	count(rparts, lext)
+	if consulted > 0 {
+		sp.SetPrunable(consulted, pparts, pregions)
+	}
+}
+
+// observePrunableMap records the zone-prunable experiment partitions of a
+// traced MAP. Reference regions are always emitted (a zero count is still a
+// row), so only experiment partitions that overlap no reference extent are
+// prunable.
+func observePrunableMap(sp *obs.Span, ref, exp *gdm.Dataset) {
+	if sp == nil || ref == nil || exp == nil {
+		return
+	}
+	rext := chromExtents(zoneParts(ref))
+	eparts := zoneParts(exp)
+	consulted, pparts := 0, 0
+	var pregions int64
+	for _, p := range eparts {
+		consulted++
+		e, ok := rext[p.chrom]
+		if !ok || p.minStart >= e.maxStop || p.maxStop <= e.minStart {
+			pparts++
+			pregions += int64(p.regions)
+		}
+	}
+	if consulted > 0 {
+		sp.SetPrunable(consulted, pparts, pregions)
+	}
+}
+
+func satAdd(a, b int64) int64 {
+	if a > 0 && b > math.MaxInt64-a {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func satSub(a, b int64) int64 {
+	if a < 0 && b > 0 && a < math.MinInt64+b {
+		return math.MinInt64
+	}
+	return a - b
+}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"genogo/internal/catalog"
 	"genogo/internal/engine"
 	"genogo/internal/gdm"
 )
@@ -19,28 +20,51 @@ type DatasetStats struct {
 	Samples        int
 	Regions        int
 	BytesPerRegion float64
+	// Zones is the per-(sample, chromosome) statistics block from the
+	// repository catalog; estimation uses it to replace the flat selectivity
+	// constants with zone-derived figures where the plan allows. nil falls
+	// back to the constants.
+	Zones *catalog.DatasetStats
 }
 
 // StatsProvider resolves dataset statistics by name.
 type StatsProvider func(name string) (DatasetStats, bool)
 
-// stats builds a StatsProvider over the server's local data.
+// stats builds a StatsProvider over the server's local data. Results are
+// memoized per dataset: statsOf scans every region, and before the memo a
+// node recomputed it on every /compile and /query. The cache keys on the
+// registered *gdm.Dataset, so re-registering a name under AddDataset
+// invalidates its entry automatically.
 func (s *Server) stats() StatsProvider {
 	return func(name string) (DatasetStats, bool) {
 		s.mu.Lock()
+		defer s.mu.Unlock()
 		ds, ok := s.data[name]
-		s.mu.Unlock()
 		if !ok {
 			return DatasetStats{}, false
 		}
-		return statsOf(ds), true
+		if m, hit := s.statsMemo[name]; hit && m.ds == ds {
+			return m.st, true
+		}
+		st := statsOf(ds)
+		s.statsMemo[name] = memoStats{ds: ds, st: st}
+		return st, true
 	}
 }
 
+// memoStats is one memoized statsOf result, valid while the name still
+// resolves to the same dataset value.
+type memoStats struct {
+	ds *gdm.Dataset
+	st DatasetStats
+}
+
 func statsOf(ds *gdm.Dataset) DatasetStats {
-	st := DatasetStats{Samples: len(ds.Samples), Regions: ds.NumRegions()}
-	if st.Regions > 0 {
-		st.BytesPerRegion = float64(ds.EstimateBytes()) / float64(st.Regions)
+	zones := catalog.Compute(ds)
+	_, regions, bytes := zones.Totals()
+	st := DatasetStats{Samples: len(ds.Samples), Regions: regions, Zones: zones}
+	if regions > 0 {
+		st.BytesPerRegion = float64(bytes) / float64(regions)
 	} else {
 		st.BytesPerRegion = 40
 	}
@@ -49,7 +73,8 @@ func statsOf(ds *gdm.Dataset) DatasetStats {
 
 // Selectivity constants of the estimator. These are the classic
 // System-R-style magic numbers: crude, but sufficient for the protocol's
-// purpose of sizing staging buffers within an order of magnitude.
+// purpose of sizing staging buffers within an order of magnitude. Zone
+// statistics replace them where the plan has the structure for it.
 const (
 	selMetaPredicate   = 0.5 // fraction of samples surviving a metadata predicate
 	selRegionPredicate = 0.3 // fraction of regions surviving a region predicate
@@ -62,68 +87,90 @@ const (
 // Unknown datasets contribute zero (the node will fail the query at
 // execution time anyway; compile-time estimation stays total).
 func EstimatePlan(n engine.Node, stats StatsProvider) Estimate {
-	e, bpr := estimateNode(n, stats)
+	e, bpr, _ := estimateNode(n, stats)
 	e.Bytes = int64(float64(e.Regions) * bpr)
 	return e
 }
 
-// estimateNode returns the cardinality estimate plus the running
-// bytes-per-region figure.
-func estimateNode(n engine.Node, stats StatsProvider) (Estimate, float64) {
+// estimateNode returns the cardinality estimate, the running
+// bytes-per-region figure, and the zone statistics still describing the
+// flowing data. Zones survive sample-local operators (the coordinate
+// distribution is unchanged or narrowed) and die at shape-changing ones.
+func estimateNode(n engine.Node, stats StatsProvider) (Estimate, float64, *catalog.DatasetStats) {
 	switch op := n.(type) {
 	case *engine.Scan:
 		st, ok := stats(op.Dataset)
 		if !ok {
-			return Estimate{}, 40
+			return Estimate{}, 40, nil
 		}
-		return Estimate{Samples: st.Samples, Regions: st.Regions}, st.BytesPerRegion
+		return Estimate{Samples: st.Samples, Regions: st.Regions}, st.BytesPerRegion, st.Zones
 	case *engine.SelectOp:
-		in, bpr := estimateNode(op.Input, stats)
+		in, bpr, zones := estimateNode(op.Input, stats)
 		out := in
 		if op.Meta != nil {
 			out.Samples = scaleInt(in.Samples, selMetaPredicate)
 			out.Regions = scaleInt(in.Regions, selMetaPredicate)
 		}
 		if op.Region != nil {
-			out.Regions = scaleInt(out.Regions, selRegionPredicate)
+			scaled := false
+			if zones != nil {
+				if w, ok := catalog.PredicateWindow(op.Region); ok {
+					// Zone-derived selectivity: overlap of the predicate's
+					// coordinate window with each partition, in place of the
+					// flat constant.
+					regions, samples := zones.EstimateSelect(w)
+					if op.Meta != nil {
+						regions = scaleInt(regions, selMetaPredicate)
+						samples = scaleInt(samples, selMetaPredicate)
+					}
+					out.Regions = regions
+					if samples < out.Samples {
+						out.Samples = samples
+					}
+					scaled = true
+				}
+			}
+			if !scaled {
+				out.Regions = scaleInt(out.Regions, selRegionPredicate)
+			}
 		}
-		return out, bpr
+		return out, bpr, zones
 	case *engine.ProjectOp:
-		in, bpr := estimateNode(op.Input, stats)
+		in, bpr, zones := estimateNode(op.Input, stats)
 		if op.Args.Regions != nil {
 			bpr *= 0.8
 		}
-		return in, bpr
+		return in, bpr, zones
 	case *engine.ExtendOp:
 		return estimateNode(op.Input, stats)
 	case *engine.MergeOp:
-		in, bpr := estimateNode(op.Input, stats)
+		in, bpr, _ := estimateNode(op.Input, stats)
 		groups := 1
 		if len(op.GroupBy) > 0 && in.Samples > 0 {
 			groups = intMax(in.Samples/4, 1)
 		}
-		return Estimate{Samples: groups, Regions: in.Regions}, bpr
+		return Estimate{Samples: groups, Regions: in.Regions}, bpr, nil
 	case *engine.GroupOp:
 		return estimateNode(op.Input, stats)
 	case *engine.OrderOp:
-		in, bpr := estimateNode(op.Input, stats)
+		in, bpr, zones := estimateNode(op.Input, stats)
 		if op.Args.Top > 0 && op.Args.Top < in.Samples && in.Samples > 0 {
 			perSample := in.Regions / in.Samples
 			in.Regions = perSample * op.Args.Top
 			in.Samples = op.Args.Top
 		}
-		return in, bpr
+		return in, bpr, zones
 	case *engine.UnionOp:
-		l, lb := estimateNode(op.Left, stats)
-		r, rb := estimateNode(op.Right, stats)
+		l, lb, _ := estimateNode(op.Left, stats)
+		r, rb, _ := estimateNode(op.Right, stats)
 		return Estimate{Samples: l.Samples + r.Samples, Regions: l.Regions + r.Regions},
-			maxf(lb, rb)
+			maxf(lb, rb), nil
 	case *engine.DifferenceOp:
-		l, lb := estimateNode(op.Left, stats)
-		return Estimate{Samples: l.Samples, Regions: scaleInt(l.Regions, selDifference)}, lb
+		l, lb, lz := estimateNode(op.Left, stats)
+		return Estimate{Samples: l.Samples, Regions: scaleInt(l.Regions, selDifference)}, lb, lz
 	case *engine.MapOp:
-		ref, rb := estimateNode(op.Ref, stats)
-		exp, _ := estimateNode(op.Exp, stats)
+		ref, rb, _ := estimateNode(op.Ref, stats)
+		exp, _, _ := estimateNode(op.Exp, stats)
 		pairs := ref.Samples * exp.Samples
 		perRefSample := 0
 		if ref.Samples > 0 {
@@ -131,28 +178,31 @@ func estimateNode(n engine.Node, stats StatsProvider) (Estimate, float64) {
 		}
 		// MAP cardinality law: one sample per pair, each with the reference
 		// region count, plus the aggregate columns.
-		return Estimate{Samples: pairs, Regions: pairs * perRefSample}, rb + 8
+		return Estimate{Samples: pairs, Regions: pairs * perRefSample}, rb + 8, nil
 	case *engine.JoinOp:
-		l, lb := estimateNode(op.Left, stats)
-		r, rbr := estimateNode(op.Right, stats)
+		l, lb, lz := estimateNode(op.Left, stats)
+		r, rbr, rz := estimateNode(op.Right, stats)
 		pairs := l.Samples * r.Samples
 		perLeftSample := 0
 		if l.Samples > 0 {
 			perLeftSample = l.Regions / l.Samples
 		}
-		return Estimate{
-			Samples: pairs,
-			Regions: scaleInt(pairs*perLeftSample, selJoinPerPair),
-		}, lb + rbr
+		emitted := scaleInt(pairs*perLeftSample, selJoinPerPair)
+		if lz != nil && rz != nil {
+			// Anchors on chromosomes the experiment side never populates
+			// cannot pair; scale by the chromosome-coupling factor.
+			emitted = scaleInt(emitted, lz.SharedChromFraction(rz))
+		}
+		return Estimate{Samples: pairs, Regions: emitted}, lb + rbr, nil
 	case *engine.CoverOp:
-		in, bpr := estimateNode(op.Input, stats)
+		in, bpr, _ := estimateNode(op.Input, stats)
 		groups := 1
 		if len(op.Args.GroupBy) > 0 && in.Samples > 0 {
 			groups = intMax(in.Samples/4, 1)
 		}
-		return Estimate{Samples: groups, Regions: scaleInt(in.Regions, coverCompression)}, bpr
+		return Estimate{Samples: groups, Regions: scaleInt(in.Regions, coverCompression)}, bpr, nil
 	default:
-		return Estimate{}, 40
+		return Estimate{}, 40, nil
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 
+	"genogo/internal/catalog"
 	"genogo/internal/engine"
 	"genogo/internal/formats"
 	"genogo/internal/gdm"
@@ -105,6 +106,12 @@ type Server struct {
 	nextID  int
 	maxStay int // max staged results kept (limited staging)
 
+	// repo is the node's repository catalog: every registered dataset with
+	// its zone statistics, served on /debug/repo.
+	repo *catalog.Registry
+	// statsMemo caches statsOf per dataset name (see Server.stats).
+	statsMemo map[string]memoStats
+
 	// SlowLog, when non-nil, receives a structured record for every query
 	// this node executes slower than the log's threshold. Set it before
 	// serving.
@@ -142,20 +149,29 @@ func NewServer(name string, cfg engine.Config, datasets ...*gdm.Dataset) *Server
 		staged: make(map[string]*gdm.Dataset),
 		// The paper calls for "a limited amount of staging at the sites
 		// hosting the services".
-		maxStay: 16,
+		maxStay:   16,
+		repo:      catalog.NewRegistry(),
+		statsMemo: make(map[string]memoStats),
 	}
 	for _, ds := range datasets {
 		s.data[ds.Name] = ds
+		s.repo.Record(catalog.Info{Name: ds.Name, Source: catalog.SourceMemory, Dataset: ds})
 	}
 	return s
 }
 
-// AddDataset registers one more local dataset.
+// AddDataset registers one more local dataset. Re-registering a name drops
+// its memoized statistics and refiles it in the node catalog.
 func (s *Server) AddDataset(ds *gdm.Dataset) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.data[ds.Name] = ds
+	delete(s.statsMemo, ds.Name)
+	s.mu.Unlock()
+	s.repo.Record(catalog.Info{Name: ds.Name, Source: catalog.SourceMemory, Dataset: ds})
 }
+
+// Repo exposes the node's repository catalog (tests, embedding servers).
+func (s *Server) Repo() *catalog.Registry { return s.repo }
 
 // catalog implements engine.Catalog over the node's local data.
 func (s *Server) catalog() engine.MapCatalog {
@@ -184,6 +200,9 @@ func (s *Server) Handler() http.Handler {
 	obs.MountQueries(mux, s.queries())
 	obs.MountProf(mux, obs.Prof())
 	obs.MountCosts(mux, obs.Costs())
+	catalog.MountRepo(mux, s.repo)
+	obs.MountEstimates(mux, obs.Estimates())
+	obs.MountIndex(mux)
 	return mux
 }
 
@@ -386,6 +405,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Samples: len(ds.Samples), Regions: ds.NumRegions(), Bytes: ds.EstimateBytes(),
 		QueryID: qid, Node: s.name,
 	}
+	// Close the estimator's feedback loop: every finished execution files its
+	// compile-time prediction against the real result size, so /debug/estimates
+	// shows how far off the estimator runs (and in which direction).
+	predicted := EstimatePlan(engine.Optimize(prog.Plan(req.Var)), s.stats())
+	obs.Estimates().Observe(qid, req.Var,
+		map[string]int64{
+			obs.EstDimSamples: int64(predicted.Samples),
+			obs.EstDimRegions: int64(predicted.Regions),
+			obs.EstDimBytes:   predicted.Bytes,
+		},
+		map[string]int64{
+			obs.EstDimSamples: int64(resp.Samples),
+			obs.EstDimRegions: int64(resp.Regions),
+			obs.EstDimBytes:   resp.Bytes,
+		})
 	if req.Profile {
 		resp.Profile = sp
 	}

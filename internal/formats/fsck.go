@@ -8,10 +8,12 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
 
+	"genogo/internal/catalog"
 	"genogo/internal/gdm"
 )
 
@@ -49,6 +51,7 @@ const (
 	ActionAddFooter         = "add_footer"
 	ActionDropMissing       = "drop_missing"
 	ActionRebuildManifest   = "rebuild_manifest"
+	ActionRebuildStats      = "rebuild_stats"
 )
 
 // FsckProblem records damage the engine could not repair.
@@ -248,8 +251,85 @@ func FsckDataset(dir string, opts FsckOptions) (*FsckResult, error) {
 		} else {
 			res.Digest = ds.ContentDigest()
 		}
+		// The files check out; now hold the manifest's stats block to the
+		// same standard. A manifest fsck just rebuilt carries fresh stats by
+		// construction, so only an adopted (pre-existing) manifest is
+		// checked.
+		if man != nil && !needRebuild {
+			fsckCheckStats(dir, man, ds, opts, res)
+		}
 	}
 	return res, nil
+}
+
+// fsckCheckStats verifies the manifest's statistics block against the
+// verified dataset: the block must exist, carry the manifest's own digest,
+// a supported version, and agree with a fresh scan of the loaded data. With
+// Rebuild the manifest is rewritten in place with recomputed stats; without,
+// the divergence is a problem (exit nonzero) — wrong statistics silently
+// mislead the pruning accounting and the federation estimator.
+func fsckCheckStats(dir string, man *Manifest, ds *gdm.Dataset, opts FsckOptions, res *FsckResult) {
+	path := filepath.Join(dir, ManifestName)
+	detail := ""
+	switch {
+	case man.Stats == nil:
+		detail = "manifest has no stats block"
+	case man.Stats.Version > catalog.StatsVersion:
+		detail = fmt.Sprintf("stats block version %d is newer than supported %d",
+			man.Stats.Version, catalog.StatsVersion)
+	case man.Stats.Digest != man.Digest:
+		detail = fmt.Sprintf("stats block digest %s does not match manifest digest %s",
+			gdm.ShortDigest(man.Stats.Digest), gdm.ShortDigest(man.Digest))
+	default:
+		if mismatch := statsMismatch(man.Stats, ds); mismatch != "" {
+			detail = "stats block disagrees with data: " + mismatch
+		}
+	}
+	if detail == "" {
+		return
+	}
+	if !opts.Rebuild {
+		res.problem(path, ReasonBadStats, detail+"; run with -rebuild")
+		return
+	}
+	fresh := catalog.Compute(ds)
+	fresh.Digest = man.Digest
+	man.Stats = fresh
+	if err := writeManifest(dir, man); err != nil {
+		res.problem(path, ReasonBadStats, err.Error())
+		return
+	}
+	res.repair(ActionRebuildStats, path, detail)
+}
+
+// statsMismatch compares a stats block with a fresh scan of the dataset,
+// order-insensitively by sample ID (the write path records insertion order,
+// the read path sorted order). It returns "" on agreement, else a
+// description of the first divergence.
+func statsMismatch(st *catalog.DatasetStats, ds *gdm.Dataset) string {
+	fresh := catalog.Compute(ds)
+	if st.AttrArity != fresh.AttrArity {
+		return fmt.Sprintf("attr arity %d, data has %d", st.AttrArity, fresh.AttrArity)
+	}
+	if len(st.Samples) != len(fresh.Samples) {
+		return fmt.Sprintf("%d samples, data has %d", len(st.Samples), len(fresh.Samples))
+	}
+	byID := make(map[string]*catalog.SampleStats, len(fresh.Samples))
+	for i := range fresh.Samples {
+		byID[fresh.Samples[i].ID] = &fresh.Samples[i]
+	}
+	for i := range st.Samples {
+		got := &st.Samples[i]
+		want := byID[got.ID]
+		if want == nil {
+			return fmt.Sprintf("sample %s not in data", got.ID)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Sprintf("sample %s stats diverge (recorded %d regions, data has %d)",
+				got.ID, got.Regions(), want.Regions())
+		}
+	}
+	return ""
 }
 
 // fsckVerifyAgainstManifest triages every manifest-listed file, applying
@@ -505,7 +585,7 @@ func fsckRebuild(dir string, res *FsckResult) bool {
 		}
 	}
 
-	if err := writeManifest(dir, buildManifest(ds, files)); err != nil {
+	if err := writeManifest(dir, buildManifest(ds, files, nil)); err != nil {
 		res.problem(filepath.Join(dir, ManifestName), ReasonBadManifest, err.Error())
 		return false
 	}

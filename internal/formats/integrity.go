@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"genogo/internal/catalog"
 	"genogo/internal/gdm"
 )
 
@@ -96,6 +97,7 @@ const (
 	ReasonBadManifest   FaultReason = "bad_manifest"
 	ReasonStaleManifest FaultReason = "stale_manifest"
 	ReasonTornRename    FaultReason = "torn_rename"
+	ReasonBadStats      FaultReason = "bad_stats"
 )
 
 // IntegrityError is the typed error for storage damage: what dataset, which
@@ -245,7 +247,39 @@ func OpenDataset(dir string, pol IntegrityPolicy) (*gdm.Dataset, *IntegrityRepor
 		metricVerifiedLoads.Inc()
 	}
 	recordIntegrity(rep)
+	catalogDataset(ds, man, rep)
 	return ds, rep, nil
+}
+
+// catalogDataset files a freshly opened dataset in the repository catalog. A
+// fully verified manifest with a stats block hands the block over as-is; a
+// legacy layout, a missing/old-format block, or a partial load (the loaded
+// dataset is a subset of what the manifest describes) retains the dataset
+// for one lazy scan instead.
+func catalogDataset(ds *gdm.Dataset, man *Manifest, rep *IntegrityReport) {
+	info := catalog.Info{
+		Name:        ds.Name,
+		Dir:         rep.Dir,
+		Source:      catalog.SourceScan,
+		Quarantined: len(rep.Quarantined),
+		Dataset:     ds,
+	}
+	switch {
+	case rep.Verified:
+		info.Integrity = "verified"
+	case rep.Partial():
+		info.Integrity = "partial"
+	default:
+		info.Integrity = "unverified"
+	}
+	if man != nil && !rep.Partial() {
+		info.Digest = man.Digest
+		if man.Stats != nil {
+			info.Source = catalog.SourceManifest
+			info.Stats = man.Stats
+		}
+	}
+	catalog.Repo().Record(info)
 }
 
 // openDatasetFiles does the per-file verification and parsing for

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"genogo/internal/catalog"
 	"genogo/internal/gdm"
 )
 
@@ -40,6 +41,12 @@ type Manifest struct {
 	Samples       int                 `json:"samples"`
 	Digest        string              `json:"digest"`
 	Files         map[string]FileInfo `json:"files"`
+	// Stats is the per-(sample, chromosome) statistics block, computed
+	// incrementally while the samples were written. Absent in manifests
+	// from before the catalog existed (readers then scan once, lazily);
+	// carrying its own digest lets readers and gmqlfsck detect a block
+	// that no longer describes the data beside it.
+	Stats *catalog.DatasetStats `json:"stats,omitempty"`
 }
 
 // SampleIDs lists the sample IDs the manifest declares, sorted, derived from
@@ -115,13 +122,25 @@ func writeManifest(dir string, m *Manifest) error {
 }
 
 // buildManifest assembles the manifest for a dataset whose files were just
-// written with the given checksums.
-func buildManifest(ds *gdm.Dataset, files map[string]FileInfo) *Manifest {
+// written with the given checksums. sampleStats carries the per-sample
+// statistics the write loop computed incrementally; nil (the fsck rebuild
+// path, which has no write loop) computes them here in one pass.
+func buildManifest(ds *gdm.Dataset, files map[string]FileInfo, sampleStats []catalog.SampleStats) *Manifest {
+	digest := ds.ContentDigest()
+	if sampleStats == nil {
+		sampleStats = catalog.Compute(ds).Samples
+	}
 	return &Manifest{
 		FormatVersion: ManifestFormatVersion,
 		Dataset:       ds.Name,
 		Samples:       len(ds.Samples),
-		Digest:        ds.ContentDigest(),
+		Digest:        digest,
 		Files:         files,
+		Stats: &catalog.DatasetStats{
+			Version:   catalog.StatsVersion,
+			Digest:    digest,
+			AttrArity: ds.Schema.Len(),
+			Samples:   sampleStats,
+		},
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"genogo/internal/catalog"
 	"genogo/internal/gdm"
 )
 
@@ -224,6 +225,7 @@ func WriteDataset(dir string, ds *gdm.Dataset) error {
 // directory, then the manifest recording their checksums.
 func writeDatasetFiles(dir string, ds *gdm.Dataset) error {
 	files := make(map[string]FileInfo, 1+2*len(ds.Samples))
+	sampleStats := make([]catalog.SampleStats, 0, len(ds.Samples))
 	info, err := writeFileWith(filepath.Join(dir, "schema.txt"), func(w io.Writer) error {
 		return WriteSchema(w, ds.Schema)
 	})
@@ -246,9 +248,10 @@ func writeDatasetFiles(dir string, ds *gdm.Dataset) error {
 			return fmt.Errorf("dataset %s sample %s: %w", ds.Name, s.ID, err)
 		}
 		files[s.ID+".gdm.meta"] = info
+		sampleStats = append(sampleStats, catalog.ComputeSample(s))
 	}
 	crash("pre-manifest")
-	if err := writeManifest(dir, buildManifest(ds, files)); err != nil {
+	if err := writeManifest(dir, buildManifest(ds, files, sampleStats)); err != nil {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
 	return nil

@@ -44,8 +44,10 @@ func summarize(e *QueryEntry) querySummary {
 	}
 }
 
-// wantJSON reports whether the request asked for the JSON view.
-func wantJSON(r *http.Request) bool {
+// WantJSON reports whether the request asked for the JSON view (a
+// ?format=json query or an Accept: application/json header). Debug consoles
+// outside this package (the repository catalog) share the convention.
+func WantJSON(r *http.Request) bool {
 	if r.URL.Query().Get("format") == "json" {
 		return true
 	}
@@ -70,7 +72,7 @@ func (q *QueryRegistry) ConsoleHandler() http.Handler {
 
 func (q *QueryRegistry) serveList(w http.ResponseWriter, r *http.Request) {
 	active, recent := q.Active(), q.Recent()
-	if wantJSON(r) {
+	if WantJSON(r) {
 		type listResponse struct {
 			Active []querySummary `json:"active"`
 			Recent []querySummary `json:"recent"`
@@ -82,7 +84,7 @@ func (q *QueryRegistry) serveList(w http.ResponseWriter, r *http.Request) {
 		for _, e := range recent {
 			resp.Recent = append(resp.Recent, summarize(e))
 		}
-		writeConsoleJSON(w, resp)
+		WriteJSON(w, resp)
 		return
 	}
 	var b strings.Builder
@@ -91,7 +93,7 @@ func (q *QueryRegistry) serveList(w http.ResponseWriter, r *http.Request) {
 	writeTable(&b, "active", active)
 	writeTable(&b, "recent", recent)
 	b.WriteString(consoleFooter)
-	writeHTML(w, b.String())
+	WriteHTML(w, b.String())
 }
 
 func (q *QueryRegistry) serveQuery(w http.ResponseWriter, r *http.Request, id string) {
@@ -101,7 +103,7 @@ func (q *QueryRegistry) serveQuery(w http.ResponseWriter, r *http.Request, id st
 		return
 	}
 	root := e.Root()
-	if wantJSON(r) {
+	if WantJSON(r) {
 		type queryResponse struct {
 			querySummary
 			Profile  *Span  `json:"profile,omitempty"`
@@ -111,7 +113,7 @@ func (q *QueryRegistry) serveQuery(w http.ResponseWriter, r *http.Request, id st
 		if root != nil {
 			resp.Rendered = root.Render()
 		}
-		writeConsoleJSON(w, resp)
+		WriteJSON(w, resp)
 		return
 	}
 	var b strings.Builder
@@ -145,7 +147,7 @@ func (q *QueryRegistry) serveQuery(w http.ResponseWriter, r *http.Request, id st
 		b.WriteString("<p>no profile recorded</p>")
 	}
 	b.WriteString(consoleFooter)
-	writeHTML(w, b.String())
+	WriteHTML(w, b.String())
 }
 
 func writeTable(b *strings.Builder, title string, entries []*QueryEntry) {
@@ -177,25 +179,41 @@ func writeTable(b *strings.Builder, title string, entries []*QueryEntry) {
 	b.WriteString("</table>")
 }
 
-func writeConsoleJSON(w http.ResponseWriter, v any) {
+// WriteJSON serves v as indented JSON — the shared debug-console JSON
+// writer.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
 
-func writeHTML(w http.ResponseWriter, body string) {
+// WriteHTML serves a complete HTML document — the shared debug-console HTML
+// writer.
+func WriteHTML(w http.ResponseWriter, body string) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(body))
 }
 
-const consoleHeader = `<!DOCTYPE html><html><head><title>queries</title><style>
+// PageHeader opens a debug-console HTML document with the shared monospace
+// style sheet; PageFooter (the ConsoleFooter constant) closes it. Consoles
+// in other packages (the repository catalog) use the same frame so every
+// /debug page looks alike.
+func PageHeader(title string) string {
+	return `<!DOCTYPE html><html><head><title>` + html.EscapeString(title) + `</title><style>
 body{font-family:monospace;margin:2em}
 table{border-collapse:collapse}
 td,th{border:1px solid #999;padding:2px 8px;text-align:left}
 pre{background:#f4f4f4;padding:1em;overflow-x:auto}
-.st-running{color:#06c}.st-done{color:#080}.st-partial{color:#b60}.st-failed,.err{color:#c00}
+.bar{background:#8ab;display:inline-block;height:0.8em}
+.st-running{color:#06c}.st-done,.st-verified{color:#080}.st-partial,.st-stale{color:#b60}.st-failed,.st-unverified,.err{color:#c00}
 .st-canceled{color:#a3a}.st-shed{color:#c60}
 </style></head><body>`
+}
 
-const consoleFooter = `</body></html>`
+// PageFooter closes a PageHeader document.
+const PageFooter = `</body></html>`
+
+var consoleHeader = PageHeader("queries")
+
+const consoleFooter = PageFooter

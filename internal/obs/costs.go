@@ -35,6 +35,19 @@ var (
 		"Heap bytes attributed to operator executions in the cost registry.", "op", "mode", "fused")
 )
 
+// Pruning-opportunity counters: what fraction of the regions traced operators
+// loaded could a zone-map-pruning storage engine have skipped (ROADMAP item
+// 1's measured target). Fed from the same profiled span trees as the cost
+// registry.
+var (
+	metricPruneChecks = Default().CounterVec("genogo_prune_checked_spans_total",
+		"Operator executions whose predicate the zone-map analysis could check.", "op")
+	metricPruneParts = Default().CounterVec("genogo_prune_partitions_total",
+		"(sample, chromosome) partitions consulted by zone-map analysis, by outcome (prunable: provably zero-output).", "op", "outcome")
+	metricPruneRegions = Default().CounterVec("genogo_prune_regions_total",
+		"Regions inside consulted partitions, by outcome (prunable: a pruning storage engine would not have loaded them).", "op", "outcome")
+)
+
 // Query-level resource histograms: the distribution of what whole queries
 // cost, by backend mode. Observed by ObserveQueryProfile on every profiled
 // evaluation.
@@ -83,6 +96,11 @@ type costCell struct {
 	cpuNS      int64
 	allocObjs  int64
 	allocBytes int64
+	// Zone-map pruning opportunity totals (see Span.PruneParts).
+	pruneChecked    int64
+	pruneParts      int64
+	prunableParts   int64
+	prunableRegions int64
 }
 
 // OpCost is one exported cost-registry row: cumulative totals plus the
@@ -98,6 +116,16 @@ type OpCost struct {
 	CPUNS      int64 `json:"cpu_ns"`
 	AllocObjs  int64 `json:"alloc_objs"`
 	AllocBytes int64 `json:"alloc_bytes"`
+
+	// Pruning opportunity: of PruneParts partitions consulted across
+	// PruneChecked zone-checkable executions, PrunableParts (holding
+	// PrunableRegions regions) were provably zero-output. PrunableFraction
+	// is PrunableRegions over the regions these executions processed.
+	PruneChecked     int64   `json:"prune_checked,omitempty"`
+	PruneParts       int64   `json:"prune_parts,omitempty"`
+	PrunableParts    int64   `json:"prunable_parts,omitempty"`
+	PrunableRegions  int64   `json:"prunable_regions,omitempty"`
+	PrunableFraction float64 `json:"prunable_fraction,omitempty"`
 
 	// Unit costs per region processed (0 when no regions were seen).
 	NSPerRegion     float64 `json:"ns_per_region"`
@@ -156,6 +184,12 @@ func (c *CostRegistry) ObserveTree(root *Span) {
 		cell.cpuNS += self.CPUNS
 		cell.allocObjs += self.AllocObjs
 		cell.allocBytes += self.AllocBytes
+		if sp.PruneParts > 0 {
+			cell.pruneChecked++
+			cell.pruneParts += int64(sp.PruneParts)
+			cell.prunableParts += int64(sp.PrunableParts)
+			cell.prunableRegions += sp.PrunableRegions
+		}
 		c.mu.Unlock()
 
 		fused := "no"
@@ -168,6 +202,17 @@ func (c *CostRegistry) ObserveTree(root *Span) {
 		metricCostCPUNS.With(key.op, key.mode, fused).Add(self.CPUNS)
 		metricCostAllocObjs.With(key.op, key.mode, fused).Add(self.AllocObjs)
 		metricCostAllocBytes.With(key.op, key.mode, fused).Add(self.AllocBytes)
+		if sp.PruneParts > 0 {
+			metricPruneChecks.With(key.op).Inc()
+			metricPruneParts.With(key.op, "prunable").Add(int64(sp.PrunableParts))
+			metricPruneParts.With(key.op, "kept").Add(int64(sp.PruneParts - sp.PrunableParts))
+			metricPruneRegions.With(key.op, "prunable").Add(sp.PrunableRegions)
+			kept := regions - sp.PrunableRegions
+			if kept < 0 {
+				kept = 0
+			}
+			metricPruneRegions.With(key.op, "kept").Add(kept)
+		}
 	}
 }
 
@@ -185,6 +230,11 @@ func (c *CostRegistry) Snapshot() []OpCost {
 			Spans: cell.spans, Regions: cell.regions,
 			SelfNS: cell.selfNS, CPUNS: cell.cpuNS,
 			AllocObjs: cell.allocObjs, AllocBytes: cell.allocBytes,
+			PruneChecked: cell.pruneChecked, PruneParts: cell.pruneParts,
+			PrunableParts: cell.prunableParts, PrunableRegions: cell.prunableRegions,
+		}
+		if cell.regions > 0 && cell.prunableRegions > 0 {
+			row.PrunableFraction = float64(cell.prunableRegions) / float64(cell.regions)
 		}
 		if cell.regions > 0 {
 			r := float64(cell.regions)
@@ -210,5 +260,7 @@ func (c *CostRegistry) Snapshot() []OpCost {
 
 // MountCosts registers GET /debug/costs serving the registry as JSON.
 func MountCosts(mux *http.ServeMux, c *CostRegistry) {
-	MountState(mux, "/debug/costs", func() any { return c.Snapshot() })
+	MountState(mux, "/debug/costs",
+		"operator cost registry: per-operator time/alloc/row totals from profiled runs",
+		func() any { return c.Snapshot() })
 }

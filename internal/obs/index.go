@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The /debug/ index: every Mount* helper registers the endpoint it mounts
+// (path + one-line description) against the mux it mounts on, and MountIndex
+// serves the resulting table — so an operator can discover
+// queries/prof/costs/slowlog/storage/repo/estimates from the service's own
+// port without reading docs. The registry is keyed per mux because a binary
+// may split its debug surface across listeners (gmqld -metrics-addr).
+
+// Endpoint is one discoverable debug endpoint.
+type Endpoint struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+}
+
+var (
+	endpointsMu sync.Mutex
+	endpointsBy = make(map[*http.ServeMux][]Endpoint)
+)
+
+// RegisterEndpoint files one endpoint in the mux's /debug/ index. Mount*
+// helpers call it automatically; subsystems mounting handlers by hand (the
+// repository catalog console) call it so their endpoints are discoverable
+// too. Re-registering a path replaces its description.
+func RegisterEndpoint(mux *http.ServeMux, path, desc string) {
+	if mux == nil || path == "" {
+		return
+	}
+	endpointsMu.Lock()
+	defer endpointsMu.Unlock()
+	list := endpointsBy[mux]
+	for i := range list {
+		if list[i].Path == path {
+			list[i].Desc = desc
+			return
+		}
+	}
+	endpointsBy[mux] = append(list, Endpoint{Path: path, Desc: desc})
+}
+
+// Endpoints lists the endpoints registered on a mux, sorted by path.
+func Endpoints(mux *http.ServeMux) []Endpoint {
+	endpointsMu.Lock()
+	out := append([]Endpoint(nil), endpointsBy[mux]...)
+	endpointsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// MountIndex serves the discovery index on /debug/ (HTML, or JSON with
+// ?format=json). Paths under /debug/ with no more specific handler land here
+// too and get a 404 that links back to the index.
+func MountIndex(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.URL.Path != "/debug/" && r.URL.Path != "/debug" {
+			http.Error(w, "unknown debug endpoint; see /debug/ for the index", http.StatusNotFound)
+			return
+		}
+		eps := Endpoints(mux)
+		if WantJSON(r) {
+			WriteJSON(w, eps)
+			return
+		}
+		var b strings.Builder
+		b.WriteString(PageHeader("debug index"))
+		fmt.Fprintf(&b, "<h1>debug endpoints</h1><p>%d mounted on this listener</p>", len(eps))
+		b.WriteString("<table><tr><th>endpoint</th><th>description</th></tr>")
+		for _, ep := range eps {
+			fmt.Fprintf(&b, "<tr><td><a href=\"%s\">%s</a></td><td>%s</td></tr>",
+				html.EscapeString(ep.Path), html.EscapeString(ep.Path), html.EscapeString(ep.Desc))
+		}
+		b.WriteString("</table>")
+		b.WriteString(PageFooter)
+		WriteHTML(w, b.String())
+	})
+	RegisterEndpoint(mux, "/debug/", "this index: every debug endpoint mounted on this listener")
+}

@@ -44,20 +44,25 @@ func (r *Registry) Handler() http.Handler {
 // Mount registers the observability endpoints on a mux: /metrics serving the
 // registry, /debug/queries serving the process-wide query console, /debug/prof
 // serving the continuous profiler's capture ring, /debug/costs serving the
-// operator cost registry, plus the /debug/pprof profiling handlers. Every
-// serving binary (gmqld, genomenet host) calls this so operators get engine
-// profiles, live query state, and runtime profiles from the same port the
-// service answers on.
+// operator cost registry, /debug/estimates serving the estimator accuracy
+// registry, the /debug/pprof profiling handlers, and the /debug/ discovery
+// index listing everything mounted here. Every serving binary (gmqld,
+// genomenet host) calls this so operators get engine profiles, live query
+// state, and runtime profiles from the same port the service answers on.
 func Mount(mux *http.ServeMux, r *Registry) {
 	mux.Handle("/metrics", r.Handler())
+	RegisterEndpoint(mux, "/metrics", "Prometheus text exposition of every registered metric")
 	MountQueries(mux, Queries())
 	MountProf(mux, Prof())
 	MountCosts(mux, Costs())
+	MountEstimates(mux, Estimates())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterEndpoint(mux, "/debug/pprof/", "net/http/pprof runtime profiles (heap, cpu, goroutine, trace)")
+	MountIndex(mux)
 }
 
 // MountQueries registers the live query console for one registry: the list
@@ -66,13 +71,15 @@ func MountQueries(mux *http.ServeMux, q *QueryRegistry) {
 	h := q.ConsoleHandler()
 	mux.Handle("/debug/queries", h)
 	mux.Handle("/debug/queries/", h)
+	RegisterEndpoint(mux, "/debug/queries", "live query console: active and recent queries with span-tree drill-down")
 }
 
 // MountState registers a JSON state endpoint: each GET serves the value fn
-// returns at that moment. Subsystems obs cannot import (layering) use it to
-// publish their debug state next to /metrics — e.g. the storage layer's
-// per-dataset integrity reports on /debug/storage.
-func MountState(mux *http.ServeMux, path string, fn func() any) {
+// returns at that moment, and desc files the endpoint in the /debug/ index.
+// Subsystems obs cannot import (layering) use it to publish their debug
+// state next to /metrics — e.g. the storage layer's per-dataset integrity
+// reports on /debug/storage.
+func MountState(mux *http.ServeMux, path, desc string, fn func() any) {
 	mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -83,4 +90,5 @@ func MountState(mux *http.ServeMux, path string, fn func() any) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(fn())
 	})
+	RegisterEndpoint(mux, path, desc)
 }

@@ -313,6 +313,8 @@ func MountProf(mux *http.ServeMux, p *Profiler) {
 	}
 	mux.HandleFunc("/debug/prof", serve)
 	mux.HandleFunc("/debug/prof/", serve)
+	RegisterEndpoint(mux, "/debug/prof",
+		"continuous profiler capture ring: slow-query pprof captures for download")
 }
 
 // trimPathPrefix strips prefix and any leading "/" from p, cleaning the rest

@@ -137,7 +137,9 @@ func (l *SlowQueryLog) Recent() []SlowRecord {
 
 // MountSlowlog registers GET /debug/slowlog serving the retained ring.
 func MountSlowlog(mux *http.ServeMux, l *SlowQueryLog) {
-	MountState(mux, "/debug/slowlog", func() any { return l.Recent() })
+	MountState(mux, "/debug/slowlog",
+		"slow query log: recent queries that crossed the latency threshold",
+		func() any { return l.Recent() })
 }
 
 // truncQuery bounds the stored query text.

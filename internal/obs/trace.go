@@ -51,6 +51,15 @@ type Span struct {
 	// Fused lists the operator names of the fusion chain this span heads
 	// (stream backend only); nil for unfused operators.
 	Fused []string `json:"fused,omitempty"`
+	// PruneParts is the number of (sample, chromosome) partitions the
+	// operator's zone-map analysis consulted; PrunableParts of them — holding
+	// PrunableRegions regions — provably contribute zero output, so a pruning
+	// storage engine would have skipped loading them entirely. All zero when
+	// the operator's predicate has no zone-checkable structure (or the run
+	// was not traced).
+	PruneParts      int   `json:"prune_parts,omitempty"`
+	PrunableParts   int   `json:"prunable_parts,omitempty"`
+	PrunableRegions int64 `json:"prunable_regions,omitempty"`
 	// CacheHit marks a subtree answered from the session's result cache:
 	// no work happened here, the output was shared.
 	CacheHit bool `json:"cache_hit,omitempty"`
@@ -164,6 +173,18 @@ func (s *Span) SetWorkers(n int) {
 	s.mu.Unlock()
 }
 
+// SetPrunable records the operator's zone-map pruning opportunity: of the
+// consulted (sample, chromosome) partitions, prunableParts (holding
+// prunableRegions regions) provably contribute zero output.
+func (s *Span) SetPrunable(consulted, prunableParts int, prunableRegions int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.PruneParts, s.PrunableParts, s.PrunableRegions = consulted, prunableParts, prunableRegions
+	s.mu.Unlock()
+}
+
 // SetCacheHit marks the span as answered from a result cache.
 func (s *Span) SetCacheHit() {
 	if s == nil {
@@ -240,6 +261,8 @@ func (s *Span) Snapshot() *Span {
 		SamplesOut: s.SamplesOut, RegionsOut: s.RegionsOut,
 		Workers: s.Workers, CacheHit: s.CacheHit, Remote: s.Remote,
 		CPUNS: s.CPUNS, AllocObjs: s.AllocObjs, AllocBytes: s.AllocBytes,
+		PruneParts: s.PruneParts, PrunableParts: s.PrunableParts,
+		PrunableRegions: s.PrunableRegions,
 	}
 	if len(s.Fused) > 0 {
 		c.Fused = append([]string(nil), s.Fused...)
@@ -409,6 +432,11 @@ func (s *Span) render(b *strings.Builder, indent int) {
 		fmt.Fprintf(b, " in=%ds/%dr", s.SamplesIn, s.RegionsIn)
 	}
 	fmt.Fprintf(b, " out=%ds/%dr", s.SamplesOut, s.RegionsOut)
+	// Pruning opportunity prints only when the zone-map analysis consulted
+	// partitions, so profiles of unanalyzable plans render exactly as before.
+	if s.PruneParts > 0 {
+		fmt.Fprintf(b, " prunable=%dr/%dof%dp", s.PrunableRegions, s.PrunableParts, s.PruneParts)
+	}
 	b.WriteByte('\n')
 	for _, c := range s.Children {
 		c.render(b, indent+1)
