@@ -82,7 +82,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	explain := fs.String("explain", "", "print the plan of VAR instead of executing")
 	profile := fs.Bool("profile", false, "print an EXPLAIN ANALYZE span tree per materialized variable")
 	profileJSON := fs.Bool("profile-json", false, "emit the profile (query_id + span tree per variable) as JSON instead of text")
-	format := fs.String("format", "native", "result format: native (GDM layout) or bed (one BED6 file per sample)")
+	format := fs.String("format", "native", "result format: native (GDM text layout), columnar (binary .gdmc partitions) or bed (one BED6 file per sample)")
 	queryDeadline := fs.Duration("query-deadline", 0, "per-query wall-clock budget (0 disables)")
 	maxRegions := fs.Int64("max-regions", 0, "per-query budget: max regions in any operator output (0 disables)")
 	maxBytes := fs.Int64("max-bytes", 0, "per-query budget: max resident bytes of operator outputs (0 disables)")
@@ -166,6 +166,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		switch *format {
 		case "native":
 			if err := formats.WriteDataset(dir, r.Dataset); err != nil {
+				return err
+			}
+		case "columnar":
+			if err := formats.WriteDatasetColumnar(dir, r.Dataset); err != nil {
 				return err
 			}
 		case "bed":

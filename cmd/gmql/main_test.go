@@ -103,6 +103,56 @@ func TestCLIModes(t *testing.T) {
 	}
 }
 
+// TestCLIColumnar runs the same script against a columnar input repository
+// with -format columnar output: the CLI must auto-detect the binary layout on
+// load, and the materialized result must decode to exactly what the text
+// pipeline produces.
+func TestCLIColumnar(t *testing.T) {
+	g := synth.New(3)
+	enc := g.Encode(synth.EncodeOptions{Samples: 12, MeanPeaks: 40})
+	anns := g.Annotations(g.Genes(50))
+
+	textData, colData := t.TempDir(), t.TempDir()
+	if err := formats.WriteDataset(filepath.Join(textData, "ENCODE"), enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := formats.WriteDataset(filepath.Join(textData, "ANNOTATIONS"), anns); err != nil {
+		t.Fatal(err)
+	}
+	if err := formats.WriteDatasetColumnar(filepath.Join(colData, "ENCODE"), enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := formats.WriteDatasetColumnar(filepath.Join(colData, "ANNOTATIONS"), anns); err != nil {
+		t.Fatal(err)
+	}
+	script := writeScript(t, cliScript)
+
+	textOut := filepath.Join(t.TempDir(), "results")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-data", textData, "-out", textOut, script}, &out); err != nil {
+		t.Fatal(err)
+	}
+	colOut := filepath.Join(t.TempDir(), "results")
+	if err := run(context.Background(), []string{"-data", colData, "-out", colOut, "-format", "columnar", script}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := formats.ReadDataset(filepath.Join(textOut, "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := formats.OpenDataset(filepath.Join(colOut, "result"), formats.IntegrityPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layout != formats.LayoutColumnar {
+		t.Errorf("materialized layout = %q, want %q", rep.Layout, formats.LayoutColumnar)
+	}
+	if a, b := want.ContentDigest(), got.ContentDigest(); a != b {
+		t.Errorf("text and columnar pipelines disagree: %s != %s", a, b)
+	}
+}
+
 func TestCLIExplain(t *testing.T) {
 	data := writeRepo(t)
 	script := writeScript(t, cliScript)

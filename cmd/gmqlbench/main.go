@@ -26,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
 
 	"genogo/internal/engine"
+	"genogo/internal/formats"
 	"genogo/internal/gmql"
 	"genogo/internal/obs"
 	"genogo/internal/synth"
@@ -40,6 +42,15 @@ const headlineScript = `
 PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
 PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
 RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+MATERIALIZE RESULT INTO result;
+`
+
+// selectChrScript is the storage A/B workload: a chromosome-restricted SELECT
+// read cold from disk. On the text layout every sample file parses in full;
+// on the columnar layout the zone maps skip every partition off chr1, so the
+// ns/op ratio between the two rows is the measured value of pruned reads.
+const selectChrScript = `
+RESULT = SELECT(; region: chr == 'chr1') ENCODE;
 MATERIALIZE RESULT INTO result;
 `
 
@@ -59,6 +70,18 @@ type Report struct {
 	Benchmark string             `json:"benchmark"`
 	Rows      []Row              `json:"rows"`
 	Overhead  map[string]float64 `json:"tracing_overhead_pct"`
+	// Pruning records the partition-skip accounting of one profiled
+	// select-chr/columnar run — the proof that the measured speedup came from
+	// pruned reads, not from the binary decode alone.
+	Pruning *Pruning `json:"select_chr_pruning,omitempty"`
+}
+
+// Pruning is the zone-map accounting of the chromosome-restricted SELECT over
+// the columnar layout.
+type Pruning struct {
+	PartsConsulted int   `json:"parts_consulted"`
+	PartsSkipped   int   `json:"parts_skipped"`
+	RegionsSkipped int64 `json:"regions_skipped"`
 }
 
 func main() {
@@ -69,13 +92,14 @@ func main() {
 }
 
 type options struct {
-	out       string
-	baseline  string
-	maxPct    float64
-	benchtime time.Duration
-	runs      int
-	samples   int
-	pr        int
+	out        string
+	baseline   string
+	maxPct     float64
+	benchtime  time.Duration
+	runs       int
+	samples    int
+	pr         int
+	minSpeedup float64
 }
 
 func run(args []string, out io.Writer) error {
@@ -88,7 +112,9 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&opt.benchtime, "benchtime", time.Second, "target measured duration per run")
 	fs.IntVar(&opt.runs, "runs", 3, "runs per configuration; the minimum ns/op run is kept")
 	fs.IntVar(&opt.samples, "samples", 38, "ENCODE sample count of the synthetic fixture")
-	fs.IntVar(&opt.pr, "pr", 7, "PR number stamped into the report")
+	fs.IntVar(&opt.pr, "pr", 9, "PR number stamped into the report")
+	fs.Float64Var(&opt.minSpeedup, "min-speedup", 3,
+		"required ns/op ratio of select-chr/text over select-chr/columnar; 0 disables the gate")
 	err := fs.Parse(args)
 	if err != nil {
 		return err
@@ -114,6 +140,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	speedupErr := runStorageGrid(opt, report, out)
 	if opt.out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -125,7 +152,100 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", opt.out)
 	}
 	if opt.baseline != "" {
-		return compareBaseline(report, baseData, opt.baseline, opt.maxPct, out)
+		if err := compareBaseline(report, baseData, opt.baseline, opt.maxPct, out); err != nil {
+			return err
+		}
+	}
+	return speedupErr
+}
+
+// runStorageGrid measures the storage A/B cells — a cold full load and the
+// chromosome-restricted SELECT, each against the text and columnar
+// materializations of the same dataset — and enforces the pruned-read speedup
+// gate. Catalogs run with NoCache so every op pays the real disk cost.
+func runStorageGrid(opt options, report *Report, out io.Writer) error {
+	dir, err := os.MkdirTemp("", "gmqlbench-storage-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	g := synth.New(int64(2000 + opt.samples))
+	ds := g.Encode(synth.EncodeOptions{Samples: opt.samples, MeanPeaks: 700})
+	ds.Name = "ENCODE"
+	textRoot, colRoot := filepath.Join(dir, "text"), filepath.Join(dir, "columnar")
+	if err := formats.WriteDataset(filepath.Join(textRoot, "ENCODE"), ds); err != nil {
+		return err
+	}
+	if err := formats.WriteDatasetColumnar(filepath.Join(colRoot, "ENCODE"), ds); err != nil {
+		return err
+	}
+	prog, err := gmql.Parse(selectChrScript)
+	if err != nil {
+		return err
+	}
+	textCat := &formats.DirCatalog{Root: textRoot, NoCache: true}
+	colCat := &formats.DirCatalog{Root: colRoot, NoCache: true}
+	cfg := engine.Config{Mode: engine.ModeSerial, MetaFirst: true}
+
+	loadText, loadCol := measurePair(opt,
+		func() error { _, err := textCat.Dataset("ENCODE"); return err },
+		func() error { _, err := colCat.Dataset("ENCODE"); return err })
+	if loadText.err != nil {
+		return loadText.err
+	}
+	if loadCol.err != nil {
+		return loadCol.err
+	}
+	selText, selCol := measurePair(opt,
+		func() error {
+			_, err := (&gmql.Runner{Config: cfg, Catalog: textCat}).Materialize(prog)
+			return err
+		},
+		func() error {
+			_, err := (&gmql.Runner{Config: cfg, Catalog: colCat}).Materialize(prog)
+			return err
+		})
+	if selText.err != nil {
+		return selText.err
+	}
+	if selCol.err != nil {
+		return selCol.err
+	}
+	report.Rows = append(report.Rows,
+		loadText.row("load/text"), loadCol.row("load/columnar"),
+		selText.row("select-chr/text"), selCol.row("select-chr/columnar"))
+
+	// One profiled run records the zone-map accounting: the report must prove
+	// the speedup came from skipped partitions, not just the binary decode.
+	_, spans, err := (&gmql.Runner{Config: cfg, Catalog: colCat}).MaterializeProfiled(prog)
+	if err != nil {
+		return err
+	}
+	pruning := &Pruning{}
+	for _, root := range spans {
+		for _, sp := range root.Flatten() {
+			pruning.PartsConsulted += sp.PartsConsulted
+			pruning.PartsSkipped += sp.PartsSkipped
+			pruning.RegionsSkipped += sp.RegionsSkipped
+		}
+	}
+	report.Pruning = pruning
+
+	speedup := selText.nsPerOp / selCol.nsPerOp
+	fmt.Fprintf(out, "load     text %9.2fms/op | columnar %9.2fms/op (%.2fx)\n",
+		loadText.nsPerOp/1e6, loadCol.nsPerOp/1e6, loadText.nsPerOp/loadCol.nsPerOp)
+	fmt.Fprintf(out, "sel-chr  text %9.2fms/op | columnar %9.2fms/op (%.2fx, gate %.1fx) skipped %d of %d partitions (%d regions)\n",
+		selText.nsPerOp/1e6, selCol.nsPerOp/1e6, speedup, opt.minSpeedup,
+		pruning.PartsSkipped, pruning.PartsConsulted, pruning.RegionsSkipped)
+	if opt.minSpeedup > 0 {
+		if speedup < opt.minSpeedup {
+			return fmt.Errorf("pruned columnar SELECT is only %.2fx faster than text, gate requires %.1fx",
+				speedup, opt.minSpeedup)
+		}
+		if pruning.PartsSkipped == 0 {
+			return fmt.Errorf("select-chr run skipped 0 of %d partitions: pruning did not engage",
+				pruning.PartsConsulted)
+		}
 	}
 	return nil
 }

@@ -15,8 +15,10 @@ func TestRunGridWritesReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_TEST.json")
 	var buf bytes.Buffer
+	// -min-speedup 0: at 1ms benchtime the text/columnar ratio is noise; the
+	// gate itself is pinned below and exercised at real benchtime in CI.
 	err := run([]string{"-benchtime", "1ms", "-runs", "1", "-samples", "4",
-		"-pr", "99", "-out", out}, &buf)
+		"-pr", "99", "-min-speedup", "0", "-out", out}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
@@ -32,7 +34,8 @@ func TestRunGridWritesReport(t *testing.T) {
 		t.Errorf("header = %d/%q", rep.PR, rep.Benchmark)
 	}
 	wantRows := []string{"serial", "serial/profiled", "batch", "batch/profiled",
-		"stream", "stream/profiled"}
+		"stream", "stream/profiled",
+		"load/text", "load/columnar", "select-chr/text", "select-chr/columnar"}
 	if len(rep.Rows) != len(wantRows) {
 		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(wantRows))
 	}
@@ -52,6 +55,25 @@ func TestRunGridWritesReport(t *testing.T) {
 		if _, ok := rep.Overhead[mode]; !ok {
 			t.Errorf("tracing_overhead_pct missing %q", mode)
 		}
+	}
+	// The pruning proof must be in the artifact: a chr1-restricted SELECT
+	// over a multi-chromosome fixture always has partitions to skip.
+	if rep.Pruning == nil {
+		t.Fatal("report missing select_chr_pruning")
+	}
+	if rep.Pruning.PartsSkipped <= 0 || rep.Pruning.PartsConsulted <= rep.Pruning.PartsSkipped {
+		t.Errorf("pruning counters = %+v, want 0 < skipped < consulted", rep.Pruning)
+	}
+}
+
+// TestStorageGateFailsWithoutSpeedup pins the -min-speedup gate: an
+// impossible threshold must fail the run and name the measured ratio.
+func TestStorageGateFailsWithoutSpeedup(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-benchtime", "1ms", "-runs", "1", "-samples", "4",
+		"-min-speedup", "1e9"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "gate requires") {
+		t.Fatalf("want speedup-gate failure, got %v", err)
 	}
 }
 
@@ -126,7 +148,7 @@ func TestCompareBaseline(t *testing.T) {
 func TestRunOutEqualsBaseline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	var buf bytes.Buffer
-	common := []string{"-benchtime", "1ms", "-runs", "1", "-samples", "4", "-out", path}
+	common := []string{"-benchtime", "1ms", "-runs", "1", "-samples", "4", "-min-speedup", "0", "-out", path}
 	if err := run(common, &buf); err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	gmqldiff [-seeds N] [-start S] [-dataset-seed D] [-report FILE]
-//	         [-federation] [-jobs N] [-tolerance T]
+//	         [-federation] [-storage] [-jobs N] [-tolerance T]
 //
 // The exit status is nonzero when any case diverges, so CI can gate on it;
 // the -report JSON artifact carries the full evidence either way. Exit codes:
@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	dsSeed := fs.Int64("dataset-seed", 1, "seed for the synthetic input catalog")
 	report := fs.String("report", "", "write the JSON campaign report to this file")
 	federation := fs.Bool("federation", false, "sample a single-node federation round-trip")
+	storage := fs.Bool("storage", false, "add the storage-format axis (text and columnar disk reads, pruned columnar scans)")
 	fedEvery := fs.Int("federation-every", 10, "run the federation round-trip on every Nth case")
 	jobs := fs.Int("jobs", 4, "campaign parallelism")
 	tolerance := fs.Float64("tolerance", difftest.DefaultTolerance, "absolute/relative float comparison tolerance")
@@ -72,6 +73,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Tolerance:       *tolerance,
 		Federation:      *federation,
 		FederationEvery: *fedEvery,
+		Storage:         *storage,
 		Jobs:            *jobs,
 	})
 

@@ -118,65 +118,117 @@ func TestFsckCampaign(t *testing.T) {
 		}
 		iterations = n
 	}
-	for i := 0; i < iterations; i++ {
-		seed := int64(i + 1)
-		root := t.TempDir()
-		want := campaignDataset(t, "DS")
-		dir := filepath.Join(root, "DS")
-		if err := formats.WriteDataset(dir, want); err != nil {
-			t.Fatal(err)
-		}
-		inj := &resilience.DiskFaultInjector{Seed: seed}
-		class, err := inj.Inject(dir)
-		if err != nil {
-			t.Fatalf("seed %d: inject: %v", seed, err)
-		}
-
-		// Detect: the strict read path must refuse the damage. A fault the
-		// verified path cannot see would be a silent wrong-result load.
-		if _, err := formats.ReadDataset(dir); err == nil {
-			t.Fatalf("seed %d: strict read succeeded on %s damage", seed, class)
-		}
-
-		// Repair.
-		var out, errOut bytes.Buffer
-		if rc := run([]string{"-data", root, "-rebuild"}, &out, &errOut); rc != 0 {
-			t.Fatalf("seed %d (%s): repair rc = %d\n%s%s", seed, class, rc, out.String(), errOut.String())
-		}
-
-		// Verify clean: a second pass finds nothing, and the strict read
-		// verifies end to end.
-		out.Reset()
-		if rc := run([]string{"-data", root}, &out, &errOut); rc != 0 {
-			t.Fatalf("seed %d (%s): post-repair fsck rc = %d\n%s", seed, class, rc, out.String())
-		}
-		got, rep, err := formats.OpenDataset(dir, formats.IntegrityPolicy{})
-		if err != nil {
-			t.Fatalf("seed %d (%s): post-repair strict read: %v", seed, class, err)
-		}
-		if !rep.Verified {
-			t.Fatalf("seed %d (%s): post-repair report = %+v", seed, class, rep)
-		}
-		// Every surviving sample must be byte-identical to what was written:
-		// repaired never means silently altered.
-		wantByID := map[string]*gdm.Sample{}
-		for _, s := range want.Samples {
-			wantByID[s.ID] = s
-		}
-		for _, s := range got.Samples {
-			w, ok := wantByID[s.ID]
-			if !ok {
-				t.Fatalf("seed %d (%s): repaired dataset invented sample %s", seed, class, s.ID)
-			}
-			if len(s.Regions) != len(w.Regions) {
-				t.Fatalf("seed %d (%s): sample %s regions %d != %d", seed, class, s.ID, len(s.Regions), len(w.Regions))
-			}
-			for j := range s.Regions {
-				if s.Regions[j].String() != w.Regions[j].String() {
-					t.Fatalf("seed %d (%s): sample %s region %d: %q != %q",
-						seed, class, s.ID, j, s.Regions[j], w.Regions[j])
+	writers := map[string]func(string, *gdm.Dataset) error{
+		"text":     formats.WriteDataset,
+		"columnar": formats.WriteDatasetColumnar,
+	}
+	for layout, write := range writers {
+		t.Run(layout, func(t *testing.T) {
+			for i := 0; i < iterations; i++ {
+				seed := int64(i + 1)
+				root := t.TempDir()
+				want := campaignDataset(t, "DS")
+				dir := filepath.Join(root, "DS")
+				if err := write(dir, want); err != nil {
+					t.Fatal(err)
 				}
+				inj := &resilience.DiskFaultInjector{Seed: seed}
+				class, err := inj.Inject(dir)
+				if err != nil {
+					t.Fatalf("seed %d: inject: %v", seed, err)
+				}
+
+				// Detect: the strict read path must refuse the damage. A fault the
+				// verified path cannot see would be a silent wrong-result load.
+				if _, err := formats.ReadDataset(dir); err == nil {
+					t.Fatalf("seed %d: strict read succeeded on %s damage", seed, class)
+				}
+
+				repairAndVerify(t, root, dir, want, seed, class)
 			}
+		})
+	}
+}
+
+// repairAndVerify runs gmqlfsck -rebuild, then re-checks: a second pass finds
+// nothing, the strict read verifies end to end, and every surviving sample is
+// identical to what was written — repaired never means silently altered.
+func repairAndVerify(t *testing.T, root, dir string, want *gdm.Dataset, seed int64, class string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if rc := run([]string{"-data", root, "-rebuild"}, &out, &errOut); rc != 0 {
+		t.Fatalf("seed %d (%s): repair rc = %d\n%s%s", seed, class, rc, out.String(), errOut.String())
+	}
+	out.Reset()
+	if rc := run([]string{"-data", root}, &out, &errOut); rc != 0 {
+		t.Fatalf("seed %d (%s): post-repair fsck rc = %d\n%s", seed, class, rc, out.String())
+	}
+	got, rep, err := formats.OpenDataset(dir, formats.IntegrityPolicy{})
+	if err != nil {
+		t.Fatalf("seed %d (%s): post-repair strict read: %v", seed, class, err)
+	}
+	if !rep.Verified {
+		t.Fatalf("seed %d (%s): post-repair report = %+v", seed, class, rep)
+	}
+	wantByID := map[string]*gdm.Sample{}
+	for _, s := range want.Samples {
+		wantByID[s.ID] = s
+	}
+	for _, s := range got.Samples {
+		w, ok := wantByID[s.ID]
+		if !ok {
+			t.Fatalf("seed %d (%s): repaired dataset invented sample %s", seed, class, s.ID)
+		}
+		if len(s.Regions) != len(w.Regions) {
+			t.Fatalf("seed %d (%s): sample %s regions %d != %d", seed, class, s.ID, len(s.Regions), len(w.Regions))
+		}
+		for j := range s.Regions {
+			if s.Regions[j].String() != w.Regions[j].String() {
+				t.Fatalf("seed %d (%s): sample %s region %d: %q != %q",
+					seed, class, s.ID, j, s.Regions[j], w.Regions[j])
+			}
+		}
+	}
+}
+
+// TestFsckCampaignColumnarBoundaries aims chaos exactly where the columnar
+// format is most sensitive: a bit flip or truncation at every CRC-protected
+// section boundary of a .gdmc file. Each must be detected by the strict read
+// and repaired by gmqlfsck -rebuild.
+func TestFsckCampaignColumnarBoundaries(t *testing.T) {
+	probe := filepath.Join(t.TempDir(), "DS")
+	if err := formats.WriteDatasetColumnar(probe, campaignDataset(t, "DS")); err != nil {
+		t.Fatal(err)
+	}
+	offsets, err := formats.ColumnarSectionOffsets(filepath.Join(probe, "s1.gdmc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) < 2 {
+		t.Fatalf("probe file has %d sections", len(offsets))
+	}
+	seed := int64(1)
+	for _, class := range []string{resilience.DiskFaultBitFlip, resilience.DiskFaultTruncate} {
+		for oi, off := range offsets {
+			if class == resilience.DiskFaultTruncate && off == 0 {
+				continue // truncate-to-zero is the empty file, exercised by the fuzz target
+			}
+			root := t.TempDir()
+			want := campaignDataset(t, "DS")
+			dir := filepath.Join(root, "DS")
+			if err := formats.WriteDatasetColumnar(dir, want); err != nil {
+				t.Fatal(err)
+			}
+			inj := &resilience.DiskFaultInjector{Seed: seed}
+			seed++
+			target := filepath.Join(dir, "s1.gdmc")
+			if err := inj.InjectFileAt(target, class, off); err != nil {
+				t.Fatalf("%s at section %d (offset %d): %v", class, oi, off, err)
+			}
+			if _, err := formats.ReadDataset(dir); err == nil {
+				t.Fatalf("strict read survived %s at section %d (offset %d)", class, oi, off)
+			}
+			repairAndVerify(t, root, dir, want, seed, class)
 		}
 	}
 }

@@ -30,6 +30,29 @@ import (
 // treat it like a missing block (rescan) rather than misread it.
 const StatsVersion = 1
 
+// PruneStats accounts one pruned dataset read: how many (sample, chromosome)
+// partitions the zone maps consulted and how many they proved irrelevant —
+// whose regions and payload bytes were therefore never read. It is the
+// realized counterpart of the engine's prunable-opportunity accounting.
+type PruneStats struct {
+	// Parts is the number of partitions consulted.
+	Parts int `json:"parts"`
+	// SkippedParts of them were skipped without reading a payload byte.
+	SkippedParts int `json:"skipped_parts"`
+	// SkippedRegions and SkippedBytes total the skipped partitions' declared
+	// region counts and payload byte extents.
+	SkippedRegions int64 `json:"skipped_regions"`
+	SkippedBytes   int64 `json:"skipped_bytes"`
+}
+
+// Add folds another read's accounting into this one.
+func (p *PruneStats) Add(o PruneStats) {
+	p.Parts += o.Parts
+	p.SkippedParts += o.SkippedParts
+	p.SkippedRegions += o.SkippedRegions
+	p.SkippedBytes += o.SkippedBytes
+}
+
 // ChromStats is one (sample, chromosome) partition: the zone-map cell. A
 // pruning storage engine would store regions partitioned this way and skip
 // whole cells whose [MinStart, MaxStop) window cannot intersect a query's

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 )
 
@@ -27,6 +28,11 @@ type CampaignOptions struct {
 	// Federation adds the federation round-trip to every FederationEvery-th
 	// case (the HTTP round-trip dominates runtime, so it is sampled).
 	Federation bool
+	// Storage adds the storage-format axis to every case: the shared catalog
+	// is materialized once (text and columnar layouts) into a temporary
+	// directory and each script additionally executes against the disk
+	// copies, the columnar ones through pruned reads.
+	Storage bool
 	// FederationEvery samples the federation round-trip; zero means 10.
 	FederationEvery int
 	// Jobs bounds campaign parallelism; zero means 4. Case-level
@@ -85,6 +91,18 @@ func RunCampaign(opts CampaignOptions) *Report {
 		ctx = context.Background()
 	}
 	cat := BuildCatalog(opts.DatasetSeed)
+	var storage *StorageCatalogs
+	var storageErr error
+	if opts.Storage {
+		dir, err := os.MkdirTemp("", "gmqldiff-storage-")
+		if err == nil {
+			defer os.RemoveAll(dir)
+			storage, err = BuildStorageCatalogs(dir, cat)
+		}
+		// A storage axis that cannot be built must fail loudly, not silently
+		// shrink the matrix; the error is reported as a synthetic divergence.
+		storageErr = err
+	}
 	results := make([]*CaseResult, opts.Seeds)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -101,6 +119,7 @@ func RunCampaign(opts CampaignOptions) *Report {
 					DatasetSeed: opts.DatasetSeed,
 					Tolerance:   opts.Tolerance,
 					Catalog:     cat,
+					Storage:     storage,
 					Federation:  opts.Federation && i%opts.FederationEvery == 0,
 				}
 				results[i] = RunCase(seed, co)
@@ -132,8 +151,21 @@ dispatch:
 	for _, ec := range Matrix() {
 		rep.Configs = append(rep.Configs, ec.Name)
 	}
+	if storage != nil {
+		rep.Configs = append(rep.Configs, StorageConfigNames()...)
+	}
 	if opts.Federation {
 		rep.Configs = append(rep.Configs, "federation")
+	}
+	if storageErr != nil {
+		rep.Diverged = append(rep.Diverged, &CaseResult{
+			Script: "(storage axis setup)",
+			Results: []ConfigResult{{
+				Config: "storage-setup",
+				Err:    storageErr.Error(),
+				Diff:   "storage catalogs could not be built: " + storageErr.Error(),
+			}},
+		})
 	}
 	rep.Canceled = ctx.Err() != nil
 	for _, cr := range results {

@@ -80,6 +80,10 @@ type Options struct {
 	// Catalog, when non-nil, overrides BuildCatalog(DatasetSeed) — the
 	// campaign runner shares one catalog across cases.
 	Catalog engine.MapCatalog
+	// Storage, when non-nil, adds the storage-format axis: the same script
+	// read back from disk materializations (text and columnar layouts, the
+	// columnar ones through pruned reads), compared to the in-memory oracle.
+	Storage *StorageCatalogs
 }
 
 // ConfigResult is the outcome of one execution configuration on one case.
@@ -174,6 +178,22 @@ func runMatrix(res *CaseResult, text, final string, cat engine.MapCatalog, opts 
 		switch {
 		case err != nil && oracleErr != nil:
 			// Both error: agreement.
+			cr.Err = err.Error()
+		case err != nil:
+			cr.Err = err.Error()
+			cr.Diff = fmt.Sprintf("config errored but oracle succeeded: %v", err)
+		case oracleErr != nil:
+			cr.Diff = "config succeeded but oracle errored: " + oracleErr.Error()
+		default:
+			cr.Diff = Diff(oracle, got, opts.Tolerance)
+		}
+		res.Results = append(res.Results, cr)
+	}
+	for _, sc := range storageMatrix(opts.Storage) {
+		cr := ConfigResult{Config: sc.Name}
+		got, err := (&gmql.Runner{Config: sc.Cfg, Catalog: sc.Cat}).Eval(prog, final)
+		switch {
+		case err != nil && oracleErr != nil:
 			cr.Err = err.Error()
 		case err != nil:
 			cr.Err = err.Error()

@@ -147,6 +147,13 @@ func Cover(cfg Config, ds *gdm.Dataset, args CoverArgs) (*gdm.Dataset, error) {
 		groups[k] = append(groups[k], s)
 	}
 	sort.Strings(order)
+	// Process group members in ID order: the derived sample ID, the metadata
+	// union and the entry order feeding tie-sensitive aggregates must not
+	// depend on the catalog's sample order (set-shaped provenance, same as
+	// MERGE).
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	}
 	out := gdm.NewDataset(ds.Name, outSchema)
 	outSamples := make([]*gdm.Sample, len(order))
 

@@ -71,6 +71,11 @@ type Config struct {
 	MetaFirst bool
 	// DisableFusion turns off operator fusion in ModeStream (ablation).
 	DisableFusion bool
+	// DisablePruning turns off partition-level pruned reads against a
+	// PrunedCatalog: every Scan loads its full dataset. The pruned and
+	// unpruned paths must produce identical results — this is the ablation
+	// knob the prune-correctness tests and the differential harness flip.
+	DisablePruning bool
 	// ValidateOutputs checks the operator-output invariants (canonical
 	// region order, schema-width value arity, typed values, unique sample
 	// IDs) after every plan node and fails the query on a violation. It is

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"genogo/internal/catalog"
 	"genogo/internal/expr"
 	"genogo/internal/gdm"
 	"genogo/internal/obs"
@@ -15,6 +16,22 @@ import (
 // Catalog resolves dataset names for Scan nodes.
 type Catalog interface {
 	Dataset(name string) (*gdm.Dataset, error)
+}
+
+// PrunedCatalog is the partition-level dataset-access extension a columnar
+// storage engine implements (formats.DirCatalog is the disk implementation):
+// the engine can ask for a dataset with every (sample, chromosome) partition
+// the keep function rejects skipped — for columnar layouts those partitions'
+// bytes are never read, turning the zone-map `prunable=` accounting into
+// real skipped I/O. Skipped partitions drop only their regions: every sample
+// still appears (possibly region-empty), so sample-level semantics are
+// untouched. Stats serves the manifest's persisted partition index without
+// loading region data, letting a JOIN of two scans prune each side before
+// either is materialized.
+type PrunedCatalog interface {
+	Catalog
+	Stats(name string) (*catalog.DatasetStats, bool)
+	DatasetPruned(name string, keep func(chrom string, minStart, maxStop int64) bool) (*gdm.Dataset, catalog.PruneStats, error)
 }
 
 // MapCatalog is the in-memory Catalog.
@@ -199,6 +216,9 @@ func (e *evaluator) evalUncached(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 	case *Scan:
 		return e.cat.Dataset(op.Dataset)
 	case *SelectOp:
+		if ds, ok, err := e.trySelectPruned(op, sp); ok || err != nil {
+			return ds, err
+		}
 		in, err := e.evalChild(op.Input, sp)
 		if err != nil {
 			return nil, err
@@ -258,6 +278,9 @@ func (e *evaluator) evalUncached(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 		}
 		return Difference(e.cfg, l, r, op.Args)
 	case *MapOp:
+		if ds, ok, err := e.tryMapPruned(op, sp); ok || err != nil {
+			return ds, err
+		}
 		l, r, err := e.evalPair(op.Ref, op.Exp, sp)
 		if err != nil {
 			return nil, err
@@ -265,6 +288,9 @@ func (e *evaluator) evalUncached(n Node, sp *obs.Span) (*gdm.Dataset, error) {
 		observePrunableMap(sp, l, r)
 		return Map(e.cfg, l, r, op.Args)
 	case *JoinOp:
+		if ds, ok, err := e.tryJoinPruned(op, sp); ok || err != nil {
+			return ds, err
+		}
 		l, r, err := e.evalPair(op.Left, op.Right, sp)
 		if err != nil {
 			return nil, err
@@ -415,7 +441,7 @@ func (e *evaluator) tryFusedChain(n Node, sp *obs.Span) (*gdm.Dataset, bool, err
 		}
 		sp.SetFused(names)
 	}
-	src, err := e.evalChild(cur, sp)
+	src, prunedSrc, err := e.fusedChainSource(cur, chain, sp)
 	if err != nil {
 		return nil, true, err
 	}
@@ -432,9 +458,11 @@ func (e *evaluator) tryFusedChain(n Node, sp *obs.Span) (*gdm.Dataset, bool, err
 			if cerr == nil {
 				st, cerr = compileSelect(e.cfg, schema, meta, op.Region)
 			}
-			if cerr == nil && i == len(chain)-1 {
+			if cerr == nil && i == len(chain)-1 && !prunedSrc {
 				// Only the innermost SELECT reads straight from the source;
-				// zone windows say nothing about intermediate results.
+				// zone windows say nothing about intermediate results. A
+				// pruned source already realized the opportunity — its scan
+				// span carries the skipped= accounting instead.
 				observePrunableSelect(sp, src, op.Region)
 			}
 		case *ProjectOp:

@@ -263,6 +263,14 @@ func Merge(cfg Config, ds *gdm.Dataset, groupBy []string) (*gdm.Dataset, error) 
 		groups[k] = append(groups[k], s)
 	}
 	sort.Strings(order)
+	// A group is a set of parents, not a sequence: process members in ID
+	// order so the derived sample ID, the metadata union and the tie order of
+	// coordinate-identical regions are all independent of the catalog's
+	// sample order (disk catalogs list samples in filename order, in-memory
+	// ones in insertion order).
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	}
 	out := gdm.NewDataset(ds.Name, ds.Schema)
 	outSamples := make([]*gdm.Sample, len(order))
 	cfg.forEach(len(order), func(gi int) {

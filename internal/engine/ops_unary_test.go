@@ -229,6 +229,53 @@ func TestMergeGrouped(t *testing.T) {
 	}
 }
 
+// TestMergeCoverOrderInsensitive: group-collapsing operators hash their
+// members' IDs into the output sample ID and concatenate their regions and
+// metadata. All of that must be independent of the catalog's sample order —
+// a disk catalog lists samples in filename order ("s10" < "s2"), an
+// in-memory one in insertion order, and the two must produce identical
+// results (the storage-format axis of the differential oracle reads both
+// ways).
+func TestMergeCoverOrderInsensitive(t *testing.T) {
+	mk := func(reversed bool) *gdm.Dataset {
+		// Same coordinates in both samples so merged tie order is visible.
+		samples := []*gdm.Sample{
+			mkSample("s2", map[string]string{"k": "a"}, regSpec{"chr1", 0, 10, gdm.StrandNone, 1, "x"}),
+			mkSample("s10", map[string]string{"k": "b"}, regSpec{"chr1", 0, 10, gdm.StrandNone, 2, "y"}),
+		}
+		if reversed {
+			samples[0], samples[1] = samples[1], samples[0]
+		}
+		return mkDataset(t, "D", samples...)
+	}
+	fwd, err := Merge(Config{MetaFirst: true}, mk(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Merge(Config{MetaFirst: true}, mk(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEquivalent(t, "merge", fwd, rev)
+	if fwd.Samples[0].ID != rev.Samples[0].ID {
+		t.Errorf("merge ID depends on sample order: %q != %q", fwd.Samples[0].ID, rev.Samples[0].ID)
+	}
+
+	coverArgs := CoverArgs{Min: CoverBound{Kind: BoundN, N: 1}, Max: CoverBound{Kind: BoundAny}}
+	cfwd, err := Cover(Config{MetaFirst: true}, mk(false), coverArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crev, err := Cover(Config{MetaFirst: true}, mk(true), coverArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEquivalent(t, "cover", cfwd, crev)
+	if cfwd.Samples[0].ID != crev.Samples[0].ID {
+		t.Errorf("cover ID depends on sample order: %q != %q", cfwd.Samples[0].ID, crev.Samples[0].ID)
+	}
+}
+
 func TestGroup(t *testing.T) {
 	ds := mkDataset(t, "D",
 		mkSample("a1", map[string]string{"cell": "HeLa", "q": "2"}),

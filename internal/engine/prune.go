@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math"
+	"time"
 
 	"genogo/internal/catalog"
 	"genogo/internal/expr"
@@ -158,6 +159,255 @@ func observePrunableMap(sp *obs.Span, ref, exp *gdm.Dataset) {
 	if consulted > 0 {
 		sp.SetPrunable(consulted, pparts, pregions)
 	}
+}
+
+// Pruned execution (the realized counterpart of the accounting above): when
+// the session's catalog is a PrunedCatalog, SELECT/JOIN/MAP over Scan inputs
+// load those scans through the partition-level read path, skipping every
+// partition whose zone window proves it irrelevant — for columnar datasets
+// the skipped bytes are never read. Soundness rests on two facts: a skipped
+// partition provably contributes zero regions to the pruning operator's
+// output (the same proofs the observePrunable* accounting uses), and pruned
+// reads keep every sample (possibly region-empty), so sample-level semantics
+// — meta filters, sample pairing, zero-count MAP rows — are untouched.
+//
+// Pruned scan results are query-specific subsets, so they are deliberately
+// kept out of the session's plan-node result cache: another consumer of the
+// same Scan node still gets the full dataset.
+
+// prunedScan reads one Scan through the catalog's partition-level path,
+// recording the realized skip accounting on csp (the scan's pre-attached
+// span; nil when untraced).
+func (e *evaluator) prunedScan(pc PrunedCatalog, scan *Scan, csp *obs.Span, keep func(chrom string, minStart, maxStop int64) bool) (*gdm.Dataset, error) {
+	start := time.Now()
+	ds, st, err := pc.DatasetPruned(scan.Dataset, keep)
+	if err != nil {
+		return nil, err
+	}
+	if csp != nil {
+		csp.SetSkipped(st.Parts, st.SkippedParts, st.SkippedRegions)
+		finishSpan(csp, e.cfg, ds, start)
+	}
+	return ds, nil
+}
+
+// windowKeep turns a predicate's zone window into a partition keep function.
+func windowKeep(w catalog.Window) func(chrom string, minStart, maxStop int64) bool {
+	return func(chrom string, minStart, maxStop int64) bool {
+		return !w.Prunes(chrom, minStart, maxStop)
+	}
+}
+
+// joinKeep keeps a partition that could pair with the other side: its
+// chromosome must appear there, and under a distance upper bound its window
+// must lie within the bound of the other side's whole-chromosome extent.
+func joinKeep(other map[string]chromExtent, bound int64, hasBound bool) func(chrom string, minStart, maxStop int64) bool {
+	return func(chrom string, minStart, maxStop int64) bool {
+		e, ok := other[chrom]
+		if !ok {
+			return false
+		}
+		if hasBound && (minStart > satAdd(e.maxStop, bound) || maxStop < satSub(e.minStart, bound)) {
+			return false
+		}
+		return true
+	}
+}
+
+// mapKeep keeps an experiment partition that overlaps some reference extent
+// (non-overlapping partitions can only contribute zero counts, which MAP
+// emits anyway).
+func mapKeep(ref map[string]chromExtent) func(chrom string, minStart, maxStop int64) bool {
+	return func(chrom string, minStart, maxStop int64) bool {
+		e, ok := ref[chrom]
+		return ok && minStart < e.maxStop && maxStop > e.minStart
+	}
+}
+
+// statsExtents folds a manifest stats block into per-chromosome extents —
+// the zone view of a dataset that has not been loaded.
+func statsExtents(st *catalog.DatasetStats) map[string]chromExtent {
+	out := make(map[string]chromExtent)
+	for i := range st.Samples {
+		for _, cs := range st.Samples[i].Chroms {
+			e, ok := out[cs.Chrom]
+			if !ok {
+				out[cs.Chrom] = chromExtent{cs.MinStart, cs.MaxStop}
+				continue
+			}
+			if cs.MinStart < e.minStart {
+				e.minStart = cs.MinStart
+			}
+			if cs.MaxStop > e.maxStop {
+				e.maxStop = cs.MaxStop
+			}
+			out[cs.Chrom] = e
+		}
+	}
+	return out
+}
+
+// trySelectPruned handles SELECT directly over a Scan on a pruning catalog:
+// the scan loads only the partitions the region predicate's zone window
+// cannot prune. Every skipped partition holds only predicate-rejected
+// regions, so the SELECT output is identical to the unpruned path's — which
+// also makes caching that output under the SelectOp node (eval's normal
+// wrapper) safe.
+func (e *evaluator) trySelectPruned(op *SelectOp, sp *obs.Span) (*gdm.Dataset, bool, error) {
+	if e.cfg.DisablePruning || op.Region == nil {
+		return nil, false, nil
+	}
+	pc, ok := e.cat.(PrunedCatalog)
+	if !ok {
+		return nil, false, nil
+	}
+	scan, ok := op.Input.(*Scan)
+	if !ok {
+		return nil, false, nil
+	}
+	w, ok := catalog.PredicateWindow(op.Region)
+	if !ok {
+		return nil, false, nil
+	}
+	var csp *obs.Span
+	if sp != nil {
+		csp = newSpan(scan, e.cfg)
+		sp.AddChild(csp)
+	}
+	in, err := e.prunedScan(pc, scan, csp, windowKeep(w))
+	if err != nil {
+		return nil, true, err
+	}
+	meta, err := e.resolveSelectMeta(op, sp)
+	if err != nil {
+		return nil, true, err
+	}
+	out, err := Select(e.cfg, in, meta, op.Region)
+	return out, true, err
+}
+
+// fusedChainSource materializes a fused chain's source. When the innermost
+// chain operator is a SELECT whose region predicate yields a zone window and
+// the source is a Scan on a pruning catalog, the source loads pruned;
+// pruned=true tells the caller the opportunity was realized (its scan span
+// carries skipped= accounting) so the prunable= observation is skipped.
+func (e *evaluator) fusedChainSource(cur Node, chain []Node, sp *obs.Span) (*gdm.Dataset, bool, error) {
+	if !e.cfg.DisablePruning {
+		if pc, ok := e.cat.(PrunedCatalog); ok {
+			if scan, ok := cur.(*Scan); ok {
+				if inner, ok := chain[len(chain)-1].(*SelectOp); ok && inner.Region != nil {
+					if w, ok := catalog.PredicateWindow(inner.Region); ok {
+						var csp *obs.Span
+						if sp != nil {
+							csp = newSpan(scan, e.cfg)
+							sp.AddChild(csp)
+						}
+						src, err := e.prunedScan(pc, scan, csp, windowKeep(w))
+						return src, true, err
+					}
+				}
+			}
+		}
+	}
+	src, err := e.evalChild(cur, sp)
+	return src, false, err
+}
+
+// tryMapPruned handles MAP whose experiment input is a Scan on a pruning
+// catalog: the reference materializes first (cached like any subplan), and
+// the experiment scan skips every partition overlapping no reference extent.
+// The two inputs evaluate sequentially here even under the stream backend —
+// the experiment's keep function needs the materialized reference.
+func (e *evaluator) tryMapPruned(op *MapOp, sp *obs.Span) (*gdm.Dataset, bool, error) {
+	if e.cfg.DisablePruning {
+		return nil, false, nil
+	}
+	pc, ok := e.cat.(PrunedCatalog)
+	if !ok {
+		return nil, false, nil
+	}
+	scan, ok := op.Exp.(*Scan)
+	if !ok {
+		return nil, false, nil
+	}
+	var lsp, rsp *obs.Span
+	if sp != nil {
+		// Both child spans attach upfront so the profile's child order is the
+		// plan order, matching evalPair.
+		lsp, rsp = newSpan(op.Ref, e.cfg), newSpan(op.Exp, e.cfg)
+		sp.AddChild(lsp)
+		sp.AddChild(rsp)
+	}
+	ref, err := e.eval(op.Ref, lsp)
+	if err != nil {
+		return nil, true, err
+	}
+	exp, err := e.prunedScan(pc, scan, rsp, mapKeep(chromExtents(zoneParts(ref))))
+	if err != nil {
+		return nil, true, err
+	}
+	out, err := Map(e.cfg, ref, exp, op.Args)
+	return out, true, err
+}
+
+// tryJoinPruned handles JOIN with at least one Scan input on a pruning
+// catalog. A lone Scan side prunes against the materialized other side's
+// extents. When both sides are Scans, the left prunes against the right's
+// manifest stats (no region data read at all), then the right prunes against
+// the materialized — already pruned — left: a left partition removed by the
+// stats could pair with no right region anyway, so the narrowed extents
+// cannot over-prune the right.
+func (e *evaluator) tryJoinPruned(op *JoinOp, sp *obs.Span) (*gdm.Dataset, bool, error) {
+	if e.cfg.DisablePruning {
+		return nil, false, nil
+	}
+	pc, ok := e.cat.(PrunedCatalog)
+	if !ok {
+		return nil, false, nil
+	}
+	lscan, lok := op.Left.(*Scan)
+	rscan, rok := op.Right.(*Scan)
+	if !lok && !rok {
+		return nil, false, nil
+	}
+	bound, hasBound := op.Args.Pred.upperBound()
+	var lsp, rsp *obs.Span
+	if sp != nil {
+		lsp, rsp = newSpan(op.Left, e.cfg), newSpan(op.Right, e.cfg)
+		sp.AddChild(lsp)
+		sp.AddChild(rsp)
+	}
+	var l, r *gdm.Dataset
+	var err error
+	switch {
+	case lok && rok:
+		if st, ok := pc.Stats(rscan.Dataset); ok {
+			l, err = e.prunedScan(pc, lscan, lsp, joinKeep(statsExtents(st), bound, hasBound))
+		} else {
+			l, err = e.eval(op.Left, lsp)
+		}
+		if err != nil {
+			return nil, true, err
+		}
+		r, err = e.prunedScan(pc, rscan, rsp, joinKeep(chromExtents(zoneParts(l)), bound, hasBound))
+	case lok:
+		r, err = e.eval(op.Right, rsp)
+		if err != nil {
+			return nil, true, err
+		}
+		l, err = e.prunedScan(pc, lscan, lsp, joinKeep(chromExtents(zoneParts(r)), bound, hasBound))
+	default:
+		l, err = e.eval(op.Left, lsp)
+		if err != nil {
+			return nil, true, err
+		}
+		r, err = e.prunedScan(pc, rscan, rsp, joinKeep(chromExtents(zoneParts(l)), bound, hasBound))
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	out, err := Join(e.cfg, l, r, op.Args)
+	return out, true, err
 }
 
 func satAdd(a, b int64) int64 {

@@ -1,0 +1,387 @@
+package formats
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"genogo/internal/catalog"
+	"genogo/internal/gdm"
+	"genogo/internal/synth"
+)
+
+// kindsDataset exercises every encodable value kind, every strand, an empty
+// string, an empty sample, and a region-free chromosome ordering edge.
+func kindsDataset(t *testing.T) *gdm.Dataset {
+	t.Helper()
+	schema := gdm.MustSchema(
+		gdm.Field{Name: "hits", Type: gdm.KindInt},
+		gdm.Field{Name: "p", Type: gdm.KindFloat},
+		gdm.Field{Name: "name", Type: gdm.KindString},
+		gdm.Field{Name: "ok", Type: gdm.KindBool},
+	)
+	ds := gdm.NewDataset("KINDS", schema)
+	s1 := gdm.NewSample("s1")
+	s1.Meta.Add("cell", "HeLa")
+	s1.AddRegion(gdm.NewRegion("chr1", 0, 1, gdm.StrandPlus, gdm.Int(-7), gdm.Float(0.25), gdm.Str(""), gdm.Bool(true)))
+	s1.AddRegion(gdm.NewRegion("chr1", 5, 500, gdm.StrandMinus, gdm.Null(), gdm.Null(), gdm.Str("x\ty\nz"), gdm.Bool(false)))
+	s1.AddRegion(gdm.NewRegion("chr2", 10, 20, gdm.StrandNone, gdm.Int(1<<40), gdm.Float(-1e300), gdm.Null(), gdm.Null()))
+	s1.SortRegions()
+	ds.MustAdd(s1)
+	ds.MustAdd(gdm.NewSample("s2")) // region-free sample
+	return ds
+}
+
+func TestColumnarSampleRoundTrip(t *testing.T) {
+	ds := kindsDataset(t)
+	for _, s := range ds.Samples {
+		data, err := encodeColumnarSample(s, ds.Schema.Len())
+		if err != nil {
+			t.Fatalf("encode %s: %v", s.ID, err)
+		}
+		got, ie := decodeColumnarSample("KINDS", "x.gdmc", s.ID, data, ds.Schema)
+		if ie != nil {
+			t.Fatalf("decode %s: %v", s.ID, ie)
+		}
+		if len(got.Regions) != len(s.Regions) {
+			t.Fatalf("sample %s: %d regions, want %d", s.ID, len(got.Regions), len(s.Regions))
+		}
+		for i := range s.Regions {
+			if got.Regions[i].String() != s.Regions[i].String() {
+				t.Errorf("sample %s region %d: %q vs %q", s.ID, i, got.Regions[i], s.Regions[i])
+			}
+		}
+	}
+}
+
+func TestColumnarDatasetRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	dir := filepath.Join(t.TempDir(), "PEAKS")
+	if err := WriteDatasetColumnar(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := OpenDataset(dir, IntegrityPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layout != LayoutColumnar {
+		t.Errorf("layout = %q, want %q", rep.Layout, LayoutColumnar)
+	}
+	datasetsEqual(t, ds, got)
+	if a, b := ds.ContentDigest(), got.ContentDigest(); a != b {
+		t.Errorf("content digest changed across columnar round trip: %s vs %s", a, b)
+	}
+}
+
+// TestColumnarRoundTripProperty: for seeded synthetic catalogs, text →
+// columnar → decode is the identity — both layouts read back to the same
+// content digest as the in-memory original.
+func TestColumnarRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := synth.New(seed)
+		for name, ds := range map[string]*gdm.Dataset{
+			"ENC": g.Encode(synth.EncodeOptions{Samples: 4, MeanPeaks: 30}),
+			"ANN": g.Annotations(g.Genes(20)),
+		} {
+			ds.Name = name
+			root := t.TempDir()
+			textDir := filepath.Join(root, "text", name)
+			colDir := filepath.Join(root, "col", name)
+			if err := WriteDataset(textDir, ds); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if err := WriteDatasetColumnar(colDir, ds); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			want := ds.ContentDigest()
+			for layout, dir := range map[string]string{"text": textDir, "columnar": colDir} {
+				got, _, err := OpenDataset(dir, IntegrityPolicy{})
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, name, layout, err)
+				}
+				if d := got.ContentDigest(); d != want {
+					t.Errorf("seed %d %s: %s digest %s != original %s", seed, name, layout, d, want)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarEveryBitFlipDetected: the index CRC covers the header and every
+// index entry, and each partition CRC covers its payload — so flipping any
+// single bit anywhere in a .gdmc image must surface as a typed error from the
+// full decode, never a panic and never silently different data.
+func TestColumnarEveryBitFlipDetected(t *testing.T) {
+	ds := testDataset(t)
+	data, err := encodeColumnarSample(ds.Samples[0], ds.Schema.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			mut := make([]byte, len(data))
+			copy(mut, data)
+			mut[off] ^= 1 << bit
+			s, ie := decodeColumnarSample("DS", "s.gdmc", "s1", mut, ds.Schema)
+			if ie == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded cleanly (%d regions)", off, bit, len(s.Regions))
+			}
+		}
+	}
+}
+
+// TestColumnarEveryTruncationDetected: any prefix of a valid image must fail
+// the full decode with a typed error.
+func TestColumnarEveryTruncationDetected(t *testing.T) {
+	ds := testDataset(t)
+	data, err := encodeColumnarSample(ds.Samples[0], ds.Schema.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, ie := decodeColumnarSample("DS", "s.gdmc", "s1", data[:n], ds.Schema); ie == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded cleanly", n, len(data))
+		}
+	}
+	if _, ie := decodeColumnarSample("DS", "s.gdmc", "s1", append(append([]byte{}, data...), 0), ds.Schema); ie == nil {
+		t.Fatal("trailing byte after last partition decoded cleanly")
+	}
+}
+
+func TestColumnarArityMismatchRejected(t *testing.T) {
+	ds := testDataset(t)
+	data, err := encodeColumnarSample(ds.Samples[0], ds.Schema.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := gdm.MustSchema(gdm.Field{Name: "p_value", Type: gdm.KindFloat})
+	if _, ie := decodeColumnarSample("DS", "s.gdmc", "s1", data, narrow); ie == nil {
+		t.Fatal("arity mismatch decoded cleanly")
+	}
+	if _, err := encodeColumnarSample(ds.Samples[0], 5); err == nil {
+		t.Fatal("encode with wrong arity succeeded")
+	}
+}
+
+// TestColumnarPrunedRead: a pruned open loads only the kept partitions and
+// accounts the skipped ones — and damage inside a skipped partition is
+// invisible to the pruned read (proof its bytes were never consumed), while
+// damage in a kept partition fails it.
+func TestColumnarPrunedRead(t *testing.T) {
+	ds := testDataset(t)
+	dir := filepath.Join(t.TempDir(), "PEAKS")
+	if err := WriteDatasetColumnar(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepChr1 := func(chrom string, minStart, maxStop int64) bool { return chrom == "chr1" }
+
+	// sample1 holds chr1 (1 region) + chr2 (1 region); keep chr1 only.
+	s, st, ie := openColumnarSamplePruned(dir, "sample1", ds.Schema, man, keepChr1)
+	if ie != nil {
+		t.Fatal(ie)
+	}
+	if st.Parts != 2 || st.SkippedParts != 1 || st.SkippedRegions != 1 || st.SkippedBytes <= 0 {
+		t.Errorf("prune stats = %+v, want 1 of 2 parts skipped with positive bytes", st)
+	}
+	if len(s.Regions) != 1 || s.Regions[0].Chrom != "chr1" {
+		t.Errorf("kept regions = %v", s.Regions)
+	}
+	if s.Meta.First("antibody") != "CTCF" {
+		t.Errorf("pruned read lost metadata: %v", s.Meta.Pairs())
+	}
+
+	// nil keep loads everything with zero skips.
+	full, st2, ie := openColumnarSamplePruned(dir, "sample1", ds.Schema, man, nil)
+	if ie != nil {
+		t.Fatal(ie)
+	}
+	if st2.SkippedParts != 0 || len(full.Regions) != 2 {
+		t.Errorf("full pruned-open: stats %+v, %d regions", st2, len(full.Regions))
+	}
+
+	// Damage the chr2 payload (the skipped partition — the last section).
+	path := filepath.Join(dir, "sample1.gdmc")
+	offsets, err := ColumnarSectionOffsets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 3 {
+		t.Fatalf("section offsets = %v, want header + 2 partitions", offsets)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make([]byte, len(data))
+	copy(mut, data)
+	mut[offsets[2]] ^= 0x01
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ie := openColumnarSamplePruned(dir, "sample1", ds.Schema, man, keepChr1); ie != nil {
+		t.Errorf("damage in a skipped partition failed the pruned read: %v", ie)
+	}
+	if _, _, ie := openColumnarSamplePruned(dir, "sample1", ds.Schema, man, nil); ie == nil {
+		t.Error("damage in a kept partition passed the full pruned-open")
+	}
+	if ie := checkColumnarStructure("PEAKS", path, mut); ie == nil {
+		t.Error("checkColumnarStructure missed the payload damage")
+	}
+}
+
+func TestColumnarSectionOffsets(t *testing.T) {
+	ds := testDataset(t)
+	dir := filepath.Join(t.TempDir(), "PEAKS")
+	if err := WriteDatasetColumnar(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sample1.gdmc")
+	offsets, err := ColumnarSectionOffsets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offsets[0] != 0 {
+		t.Errorf("first offset = %d", offsets[0])
+	}
+	for i, off := range offsets {
+		if off < 0 || off >= int64(len(data)) {
+			t.Errorf("offset %d = %d outside file of %d bytes", i, off, len(data))
+		}
+	}
+}
+
+func TestDetectLayout(t *testing.T) {
+	ds := testDataset(t)
+	root := t.TempDir()
+	textDir, colDir := filepath.Join(root, "T"), filepath.Join(root, "C")
+	if err := WriteDataset(textDir, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatasetColumnar(colDir, ds); err != nil {
+		t.Fatal(err)
+	}
+	for dir, want := range map[string]string{textDir: LayoutNative, colDir: LayoutColumnar} {
+		man, err := ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := detectLayout(dir, man); got != want {
+			t.Errorf("detectLayout(%s, manifest) = %q, want %q", dir, got, want)
+		}
+		// Manifestless: fall back to the directory's file extensions.
+		if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+			t.Fatal(err)
+		}
+		if got := detectLayout(dir, nil); got != want {
+			t.Errorf("detectLayout(%s, nil) = %q, want %q", dir, got, want)
+		}
+		// Still readable without a manifest (section checksums self-verify).
+		got, rep, err := OpenDataset(dir, IntegrityPolicy{})
+		if err != nil {
+			t.Fatalf("manifestless open of %s: %v", dir, err)
+		}
+		if rep.Layout != want {
+			t.Errorf("manifestless open layout = %q, want %q", rep.Layout, want)
+		}
+		datasetsEqual(t, ds, got)
+	}
+}
+
+func TestColumnarStaleManifestDetected(t *testing.T) {
+	ds := testDataset(t)
+	dir := filepath.Join(t.TempDir(), "PEAKS")
+	if err := WriteDatasetColumnar(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite sample1.gdmc with different but self-consistent content: only
+	// the manifest can tell it is not the promised file.
+	mod := ds.Samples[0].Clone()
+	mod.Regions = mod.Regions[:1]
+	data, err := encodeColumnarSample(mod, ds.Schema.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sample1.gdmc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ie := checkColumnarStructure("PEAKS", path, data); ie != nil {
+		t.Fatalf("rewritten file is not self-consistent: %v", ie)
+	}
+	if _, _, err := OpenDataset(dir, IntegrityPolicy{}); err == nil {
+		t.Fatal("strict open accepted a file the manifest does not describe")
+	}
+}
+
+func TestDirCatalog(t *testing.T) {
+	ds := testDataset(t)
+	root := t.TempDir()
+	if err := WriteDataset(filepath.Join(root, "TEXT"), ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatasetColumnar(filepath.Join(root, "COL"), ds); err != nil {
+		t.Fatal(err)
+	}
+	c := NewDirCatalog(root)
+	names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names) != "[COL TEXT]" {
+		t.Errorf("names = %v", names)
+	}
+	for _, name := range names {
+		got, err := c.Dataset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		datasetsEqual(t, ds, got)
+		if st, ok := c.Stats(name); !ok || len(st.Samples) != 2 {
+			t.Errorf("%s: stats ok=%v %+v", name, ok, st)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, ".hidden", "NOPE"} {
+		if _, err := c.Dataset(bad); err == nil {
+			t.Errorf("Dataset(%q) succeeded", bad)
+		}
+	}
+
+	keepChr1 := func(chrom string, minStart, maxStop int64) bool { return chrom == "chr1" }
+	// Columnar: real partition skips.
+	pruned, st, err := c.DatasetPruned("COL", keepChr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitions: sample1 chr1+chr2, sample2 chr1 → 3 consulted, 1 skipped.
+	if st.Parts != 3 || st.SkippedParts != 1 || st.SkippedRegions != 1 {
+		t.Errorf("columnar prune stats = %+v", st)
+	}
+	if len(pruned.Samples) != 2 {
+		t.Fatalf("pruned load dropped samples: %d", len(pruned.Samples))
+	}
+	for _, s := range pruned.Samples {
+		for i := range s.Regions {
+			if s.Regions[i].Chrom != "chr1" {
+				t.Errorf("pruned load kept %s", s.Regions[i].Chrom)
+			}
+		}
+	}
+	// Text layout: full fallback, honest zero skip accounting.
+	full, st2, err := c.DatasetPruned("TEXT", keepChr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != (catalog.PruneStats{}) {
+		t.Errorf("text fallback stats = %+v, want zero", st2)
+	}
+	datasetsEqual(t, ds, full)
+}

@@ -398,7 +398,8 @@ func fsckVerifyAgainstManifest(dir string, man *Manifest, opts FsckOptions, res 
 		if e.IsDir() || n == ManifestName {
 			continue
 		}
-		if !strings.HasSuffix(n, ".gdm") && !strings.HasSuffix(n, ".gdm.meta") && n != "schema.txt" {
+		if !strings.HasSuffix(n, ".gdm") && !strings.HasSuffix(n, ".gdm.meta") &&
+			!strings.HasSuffix(n, columnarExt) && n != "schema.txt" {
 			continue
 		}
 		if _, listed := man.Files[n]; listed {
@@ -412,8 +413,13 @@ func fsckVerifyAgainstManifest(dir string, man *Manifest, opts FsckOptions, res 
 	return needRebuild
 }
 
-// triageFile verifies one file against its manifest entry.
+// triageFile verifies one file against its manifest entry. Columnar region
+// files take their own triage: they carry no text footer, so the manifest's
+// whole-file checksum and the file's internal section CRCs stand in for it.
 func triageFile(dataset, path string, want FileInfo) fileState {
+	if strings.HasSuffix(path, columnarExt) {
+		return triageColumnarFile(dataset, path, want)
+	}
 	payload, info, hasFooter, err := readFileVerified(dataset, path)
 	if err != nil {
 		var ie *IntegrityError
@@ -441,6 +447,33 @@ func triageFile(dataset, path string, want FileInfo) fileState {
 	return fileState{payload: payload, info: info, hasFooter: true}
 }
 
+// triageColumnarFile verifies one columnar region file against its manifest
+// entry. Self-consistency means the binary structure itself — index CRC plus
+// every partition CRC — checks out: such a file the manifest merely disagrees
+// with is a stale-manifest case a rebuild re-adopts, anything else is
+// corruption.
+func triageColumnarFile(dataset, path string, want FileInfo) fileState {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		detail := ""
+		if !os.IsNotExist(err) {
+			detail = err.Error()
+		}
+		return fileState{err: &IntegrityError{Dataset: dataset, Path: path, Reason: ReasonMissing, Detail: detail}}
+	}
+	info := columnarFileInfo(data)
+	if info == want {
+		return fileState{payload: data, info: info, hasFooter: true}
+	}
+	if ie := checkColumnarStructure(dataset, path, data); ie != nil {
+		return fileState{err: ie}
+	}
+	return fileState{payload: data, info: info, hasFooter: true, err: &IntegrityError{
+		Dataset: dataset, Path: path, Reason: ReasonStaleManifest,
+		Detail: fmt.Sprintf("file is self-consistent (%s, %d bytes) but manifest records %s, %d bytes",
+			info.CRC32C, info.Size, want.CRC32C, want.Size)}}
+}
+
 // findQuarantineCandidate returns the path of a quarantined copy of file
 // whose payload checksum and size match the manifest entry, or "".
 func findQuarantineCandidate(dir, file string, want FileInfo) string {
@@ -464,6 +497,14 @@ func findQuarantineCandidate(dir, file string, want FileInfo) string {
 		path := filepath.Join(qdir, n)
 		data, err := os.ReadFile(path)
 		if err != nil {
+			continue
+		}
+		if strings.HasSuffix(file, columnarExt) {
+			// Columnar copies match on the whole-file checksum the manifest
+			// records; there is no text footer to consult.
+			if columnarFileInfo(data) == want {
+				return path
+			}
 			continue
 		}
 		_, sum, hasFooter, ok := splitFooter(data)
@@ -527,13 +568,33 @@ func fsckRebuild(dir string, res *FsckResult) bool {
 		res.problem(dir, ReasonMissing, err.Error())
 		return false
 	}
+	// The rebuilt manifest adopts whichever layout the directory holds; a
+	// region file of the other layout is not a state the writer produces, so
+	// it is moved aside rather than mixed in (the final strict verify would
+	// reject it as unlisted anyway).
+	layout := detectLayout(dir, nil)
+	regionExt := ".gdm"
+	if layout == LayoutColumnar {
+		regionExt = columnarExt
+	}
 	var ids []string
 	hasRegions := make(map[string]bool)
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".gdm") {
-			id := strings.TrimSuffix(e.Name(), ".gdm")
+		n := e.Name()
+		if e.IsDir() || strings.HasSuffix(n, ".gdm.meta") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(n, regionExt):
+			id := strings.TrimSuffix(n, regionExt)
 			ids = append(ids, id)
 			hasRegions[id] = true
+		case strings.HasSuffix(n, ".gdm") || strings.HasSuffix(n, columnarExt):
+			if moved, qerr := quarantineFile(dir, n); qerr == nil && moved != "" {
+				metricQuarantined.Inc()
+				res.repair(ActionQuarantineCorrupt, filepath.Join(dir, n),
+					"region file of a different layout; moved to "+moved)
+			}
 		}
 	}
 	sort.Strings(ids)
@@ -554,23 +615,57 @@ func fsckRebuild(dir string, res *FsckResult) bool {
 		}
 	}
 
+	// keepColumnar adopts one structurally sound columnar region file:
+	// internal CRCs verified, whole-file checksum recorded in the manifest.
+	keepColumnar := func(file string) ([]byte, bool) {
+		path := filepath.Join(dir, file)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, false
+		}
+		if ie := checkColumnarStructure(name, path, data); ie != nil {
+			if moved, qerr := quarantineFile(dir, file); qerr == nil && moved != "" {
+				metricQuarantined.Inc()
+				res.repair(ActionQuarantineCorrupt, path, "moved to "+moved)
+			}
+			return nil, false
+		}
+		files[file] = columnarFileInfo(data)
+		return data, true
+	}
+
 	ds := gdm.NewDataset(name, schema)
 	for _, id := range ids {
-		regPayload, ok := keepFile(id + ".gdm")
-		if !ok {
-			continue
-		}
-		s := gdm.NewSample(id)
-		if err := ReadRegions(bytes.NewReader(regPayload), schema, s); err != nil {
-			dropSample(dir, id, res, ReasonParse, err.Error())
-			delete(files, id+".gdm")
-			continue
+		var s *gdm.Sample
+		if layout == LayoutColumnar {
+			data, ok := keepColumnar(id + columnarExt)
+			if !ok {
+				continue
+			}
+			var ie *IntegrityError
+			s, ie = decodeColumnarSample(name, filepath.Join(dir, id+columnarExt), id, data, schema)
+			if ie != nil {
+				dropSample(dir, id, regionExt, res, ie.Reason, ie.Detail)
+				delete(files, id+columnarExt)
+				continue
+			}
+		} else {
+			regPayload, ok := keepFile(id + ".gdm")
+			if !ok {
+				continue
+			}
+			s = gdm.NewSample(id)
+			if err := ReadRegions(bytes.NewReader(regPayload), schema, s); err != nil {
+				dropSample(dir, id, regionExt, res, ReasonParse, err.Error())
+				delete(files, id+".gdm")
+				continue
+			}
 		}
 		if metaPayload, ok := keepFile(id + ".gdm.meta"); ok {
 			md, err := ReadMeta(bytes.NewReader(metaPayload))
 			if err != nil {
-				dropSample(dir, id, res, ReasonParse, err.Error())
-				delete(files, id+".gdm")
+				dropSample(dir, id, regionExt, res, ReasonParse, err.Error())
+				delete(files, id+regionExt)
 				delete(files, id+".gdm.meta")
 				continue
 			}
@@ -578,14 +673,16 @@ func fsckRebuild(dir string, res *FsckResult) bool {
 		}
 		s.SortRegions()
 		if err := ds.Add(s); err != nil {
-			dropSample(dir, id, res, ReasonParse, err.Error())
-			delete(files, id+".gdm")
+			dropSample(dir, id, regionExt, res, ReasonParse, err.Error())
+			delete(files, id+regionExt)
 			delete(files, id+".gdm.meta")
 			continue
 		}
 	}
 
-	if err := writeManifest(dir, buildManifest(ds, files, nil)); err != nil {
+	m := buildManifest(ds, files, nil)
+	m.Layout = layout
+	if err := writeManifest(dir, m); err != nil {
 		res.problem(filepath.Join(dir, ManifestName), ReasonBadManifest, err.Error())
 		return false
 	}
@@ -599,9 +696,10 @@ func fsckRebuild(dir string, res *FsckResult) bool {
 }
 
 // dropSample quarantines a sample's files during a rebuild so the rebuilt
-// manifest does not adopt unparseable data.
-func dropSample(dir, id string, res *FsckResult, reason FaultReason, detail string) {
-	for _, f := range []string{id + ".gdm", id + ".gdm.meta"} {
+// manifest does not adopt unparseable data. regionExt selects the layout's
+// region file (".gdm" or ".gdmc").
+func dropSample(dir, id, regionExt string, res *FsckResult, reason FaultReason, detail string) {
+	for _, f := range []string{id + regionExt, id + ".gdm.meta"} {
 		if moved, err := quarantineFile(dir, f); err == nil && moved != "" {
 			metricQuarantined.Inc()
 			res.repair(ActionQuarantineCorrupt, filepath.Join(dir, f),

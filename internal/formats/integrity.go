@@ -147,9 +147,12 @@ type QuarantinedSample struct {
 // non-fatal damage travels here, the way federation's PartialFailure travels
 // next to a degraded result.
 type IntegrityReport struct {
-	Dataset       string              `json:"dataset"`
-	Dir           string              `json:"dir"`
-	Digest        string              `json:"digest,omitempty"`
+	Dataset string `json:"dataset"`
+	Dir     string `json:"dir"`
+	Digest  string `json:"digest,omitempty"`
+	// Layout is the storage layout the load detected (LayoutNative or
+	// LayoutColumnar).
+	Layout        string              `json:"layout,omitempty"`
 	Verified      bool                `json:"verified"`
 	Unverified    bool                `json:"unverified"`
 	SamplesLoaded int                 `json:"samples_loaded"`
@@ -230,6 +233,7 @@ func OpenDataset(dir string, pol IntegrityPolicy) (*gdm.Dataset, *IntegrityRepor
 		}
 		return nil, nil, err
 	}
+	rep.Layout = detectLayout(dir, man)
 
 	ds, err := openDatasetFiles(dir, man, pol, rep)
 	if err != nil {
@@ -282,16 +286,16 @@ func catalogDataset(ds *gdm.Dataset, man *Manifest, rep *IntegrityReport) {
 	catalog.Repo().Record(info)
 }
 
-// openDatasetFiles does the per-file verification and parsing for
-// OpenDataset. man == nil selects the legacy (unverified) path.
-func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *IntegrityReport) (*gdm.Dataset, error) {
-	name := rep.Dataset
+// readDatasetSchema verifies and parses dir's schema.txt — the fatal-first
+// step every layout and the pruned read path share. Damage is always fatal:
+// without the schema nothing is interpretable. man == nil skips the manifest
+// cross-check (legacy directories).
+func readDatasetSchema(dir string, man *Manifest) (*gdm.Schema, error) {
+	name := filepath.Base(dir)
 	fatal := func(ie *IntegrityError) error {
 		metricIntegrityFailures.With(string(ie.Reason)).Inc()
 		return ie
 	}
-
-	// Schema first; schema damage is always fatal.
 	schemaPath := filepath.Join(dir, "schema.txt")
 	schemaPayload, schemaInfo, schemaFooter, err := readFileVerified(name, schemaPath)
 	if err != nil {
@@ -319,10 +323,28 @@ func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *Integ
 	if err != nil {
 		return nil, fatal(&IntegrityError{Dataset: name, Path: schemaPath, Reason: ReasonParse, Detail: err.Error()})
 	}
+	return schema, nil
+}
+
+// openDatasetFiles does the per-file verification and parsing for
+// OpenDataset. man == nil selects the legacy (unverified) path.
+func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *IntegrityReport) (*gdm.Dataset, error) {
+	name := rep.Dataset
+
+	// Schema first; schema damage is always fatal.
+	schema, err := readDatasetSchema(dir, man)
+	if err != nil {
+		return nil, err
+	}
 
 	// Decide the sample universe: the manifest's when present (files it does
 	// not list are unverifiable and treated as stale-manifest damage),
 	// otherwise whatever region files the directory holds.
+	columnar := rep.Layout == LayoutColumnar
+	regionExt := ".gdm"
+	if columnar {
+		regionExt = columnarExt
+	}
 	var ids []string
 	if man != nil {
 		ids = man.SampleIDs()
@@ -332,8 +354,8 @@ func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *Integ
 			return nil, fmt.Errorf("dataset %s: %w", dir, err)
 		}
 		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".gdm") {
-				ids = append(ids, strings.TrimSuffix(e.Name(), ".gdm"))
+			if !e.IsDir() && strings.HasSuffix(e.Name(), regionExt) {
+				ids = append(ids, strings.TrimSuffix(e.Name(), regionExt))
 			}
 		}
 		sort.Strings(ids)
@@ -347,7 +369,7 @@ func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *Integ
 		}
 		q := QuarantinedSample{Sample: sampleID, File: file, Reason: reason, Detail: detail}
 		if pol.Quarantine {
-			for _, f := range []string{sampleID + ".gdm", sampleID + ".gdm.meta"} {
+			for _, f := range []string{sampleID + regionExt, sampleID + ".gdm.meta"} {
 				if moved, err := quarantineFile(dir, f); err == nil && moved != "" {
 					metricQuarantined.Inc()
 					if f == file || q.MovedTo == "" {
@@ -361,7 +383,13 @@ func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *Integ
 	}
 
 	for _, id := range ids {
-		s, ie := readSampleVerified(dir, id, schema, man)
+		var s *gdm.Sample
+		var ie *IntegrityError
+		if columnar {
+			s, ie = readColumnarSampleVerified(dir, id, schema, man)
+		} else {
+			s, ie = readSampleVerified(dir, id, schema, man)
+		}
 		if ie != nil {
 			if err := exclude(id, filepath.Base(ie.Path), ie.Reason, ie.Detail); err != nil {
 				return nil, err
@@ -370,7 +398,7 @@ func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *Integ
 		}
 		s.SortRegions()
 		if err := ds.Add(s); err != nil {
-			if err := exclude(id, id+".gdm", ReasonParse, err.Error()); err != nil {
+			if err := exclude(id, id+regionExt, ReasonParse, err.Error()); err != nil {
 				return nil, err
 			}
 		}
@@ -394,10 +422,11 @@ func openDatasetFiles(dir string, man *Manifest, pol IntegrityPolicy, rep *Integ
 			if e.IsDir() || n == ManifestName || n == "schema.txt" {
 				continue
 			}
-			if !strings.HasSuffix(n, ".gdm") && !strings.HasSuffix(n, ".gdm.meta") {
+			if !strings.HasSuffix(n, ".gdm") && !strings.HasSuffix(n, ".gdm.meta") &&
+				!strings.HasSuffix(n, columnarExt) {
 				continue
 			}
-			sampleID := strings.TrimSuffix(strings.TrimSuffix(n, ".meta"), ".gdm")
+			sampleID := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(n, ".meta"), ".gdm"), columnarExt)
 			if known[sampleID] {
 				continue
 			}

@@ -36,11 +36,15 @@ type FileInfo struct {
 // materialization. Digest is the gdm content digest of the whole dataset —
 // the dataset's version: it changes iff the logical content changes.
 type Manifest struct {
-	FormatVersion int                 `json:"format_version"`
-	Dataset       string              `json:"dataset"`
-	Samples       int                 `json:"samples"`
-	Digest        string              `json:"digest"`
-	Files         map[string]FileInfo `json:"files"`
+	FormatVersion int    `json:"format_version"`
+	Dataset       string `json:"dataset"`
+	Samples       int    `json:"samples"`
+	Digest        string `json:"digest"`
+	// Layout names the on-disk representation: "" (LayoutNative) for the
+	// text layout — the zero value, so pre-columnar manifests read as native
+	// — or "columnar" for binary .gdmc region files.
+	Layout string              `json:"layout,omitempty"`
+	Files  map[string]FileInfo `json:"files"`
 	// Stats is the per-(sample, chromosome) statistics block, computed
 	// incrementally while the samples were written. Absent in manifests
 	// from before the catalog existed (readers then scan once, lazily);
@@ -50,12 +54,23 @@ type Manifest struct {
 }
 
 // SampleIDs lists the sample IDs the manifest declares, sorted, derived from
-// its region-file entries.
+// its region-file entries (.gdm for the native layout, .gdmc for columnar).
 func (m *Manifest) SampleIDs() []string {
+	seen := make(map[string]bool)
 	var ids []string
 	for name := range m.Files {
-		if filepath.Ext(name) == ".gdm" {
-			ids = append(ids, name[:len(name)-len(".gdm")])
+		var id string
+		switch filepath.Ext(name) {
+		case ".gdm":
+			id = name[:len(name)-len(".gdm")]
+		case columnarExt:
+			id = name[:len(name)-len(columnarExt)]
+		default:
+			continue
+		}
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
 		}
 	}
 	sort.Strings(ids)

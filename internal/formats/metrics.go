@@ -21,4 +21,12 @@ var (
 		"Dataset wire streams whose GDMSUM trailer did not match the received bytes.")
 	metricBytesParsed = obs.Default().Counter("genogo_storage_bytes_parsed_total",
 		"Bytes consumed by the text parsers (native, BED, GTF, VCF, schema, metadata) across all loads.")
+	metricColumnarLoads = obs.Default().Counter("genogo_storage_columnar_loads_total",
+		"Columnar dataset reads (full or pruned) served by the partition-level read path.")
+	metricPrunedParts = obs.Default().CounterVec("genogo_storage_pruned_parts_total",
+		"(sample, chromosome) partitions consulted by pruned columnar reads, by outcome (skipped: payload never read).", "outcome")
+	metricPrunedRegions = obs.Default().Counter("genogo_storage_pruned_regions_total",
+		"Regions inside partitions that pruned columnar reads skipped without reading.")
+	metricPrunedBytes = obs.Default().Counter("genogo_storage_pruned_bytes_total",
+		"Payload bytes pruned columnar reads skipped without reading.")
 )

@@ -181,6 +181,13 @@ func crash(stage string) {
 // crash are ignored by the repository loaders (they skip dot-prefixed
 // entries); gmqlfsck removes them.
 func WriteDataset(dir string, ds *gdm.Dataset) error {
+	return writeDatasetLayout(dir, ds, LayoutNative)
+}
+
+// writeDatasetLayout is the shared atomic materialization path: stage, write
+// the layout's files, fsync, swap into place. WriteDataset and
+// WriteDatasetColumnar differ only in the staged files.
+func writeDatasetLayout(dir string, ds *gdm.Dataset, layout string) error {
 	dir = filepath.Clean(dir)
 	parent, base := filepath.Dir(dir), filepath.Base(dir)
 	if err := os.MkdirAll(parent, 0o755); err != nil {
@@ -191,7 +198,12 @@ func WriteDataset(dir string, ds *gdm.Dataset) error {
 		return fmt.Errorf("dataset %s: %w", ds.Name, err)
 	}
 	defer os.RemoveAll(tmp) // no-op once renamed into place
-	if err := writeDatasetFiles(tmp, ds); err != nil {
+	if layout == LayoutColumnar {
+		err = writeColumnarDatasetFiles(tmp, ds)
+	} else {
+		err = writeDatasetFiles(tmp, ds)
+	}
+	if err != nil {
 		return err
 	}
 	if err := syncDir(tmp); err != nil {

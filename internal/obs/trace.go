@@ -60,6 +60,15 @@ type Span struct {
 	PruneParts      int   `json:"prune_parts,omitempty"`
 	PrunableParts   int   `json:"prunable_parts,omitempty"`
 	PrunableRegions int64 `json:"prunable_regions,omitempty"`
+	// PartsConsulted is the number of (sample, chromosome) partitions a
+	// pruned storage read consulted; PartsSkipped of them — holding
+	// RegionsSkipped regions — were proven irrelevant by their zone windows
+	// and never read from disk. Where the Prunable* fields above measure the
+	// opportunity on an operator, these measure the I/O a pruning scan
+	// actually skipped.
+	PartsConsulted int   `json:"parts_consulted,omitempty"`
+	PartsSkipped   int   `json:"parts_skipped,omitempty"`
+	RegionsSkipped int64 `json:"regions_skipped,omitempty"`
 	// CacheHit marks a subtree answered from the session's result cache:
 	// no work happened here, the output was shared.
 	CacheHit bool `json:"cache_hit,omitempty"`
@@ -185,6 +194,18 @@ func (s *Span) SetPrunable(consulted, prunableParts int, prunableRegions int64) 
 	s.mu.Unlock()
 }
 
+// SetSkipped records a pruned storage read's realized skip accounting: of
+// the consulted partitions, skipped (holding regions regions) were never
+// read from disk.
+func (s *Span) SetSkipped(consulted, skipped int, regions int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.PartsConsulted, s.PartsSkipped, s.RegionsSkipped = consulted, skipped, regions
+	s.mu.Unlock()
+}
+
 // SetCacheHit marks the span as answered from a result cache.
 func (s *Span) SetCacheHit() {
 	if s == nil {
@@ -263,6 +284,8 @@ func (s *Span) Snapshot() *Span {
 		CPUNS: s.CPUNS, AllocObjs: s.AllocObjs, AllocBytes: s.AllocBytes,
 		PruneParts: s.PruneParts, PrunableParts: s.PrunableParts,
 		PrunableRegions: s.PrunableRegions,
+		PartsConsulted:  s.PartsConsulted, PartsSkipped: s.PartsSkipped,
+		RegionsSkipped: s.RegionsSkipped,
 	}
 	if len(s.Fused) > 0 {
 		c.Fused = append([]string(nil), s.Fused...)
@@ -436,6 +459,11 @@ func (s *Span) render(b *strings.Builder, indent int) {
 	// partitions, so profiles of unanalyzable plans render exactly as before.
 	if s.PruneParts > 0 {
 		fmt.Fprintf(b, " prunable=%dr/%dof%dp", s.PrunableRegions, s.PrunableParts, s.PruneParts)
+	}
+	// Realized pruning prints only on spans of pruned storage reads, so
+	// profiles of in-memory or text-layout scans render exactly as before.
+	if s.PartsConsulted > 0 {
+		fmt.Fprintf(b, " skipped=%dr/%dof%dp", s.RegionsSkipped, s.PartsSkipped, s.PartsConsulted)
 	}
 	b.WriteByte('\n')
 	for _, c := range s.Children {

@@ -90,7 +90,7 @@ func (d *DiskFaultInjector) InjectClass(dir, class string) error {
 	case DiskFaultStaleManifest:
 		return d.injectStaleManifest(dir)
 	case DiskFaultMissingFile:
-		target, err := d.pickSampleFile(dir)
+		target, err := d.pickSampleFile(dir, false)
 		if err != nil {
 			return err
 		}
@@ -99,7 +99,7 @@ func (d *DiskFaultInjector) InjectClass(dir, class string) error {
 		d.mu.Unlock()
 		return os.Remove(target)
 	case DiskFaultBitFlip, DiskFaultTruncate:
-		target, err := d.pickSampleFile(dir)
+		target, err := d.pickSampleFile(dir, false)
 		if err != nil {
 			return err
 		}
@@ -140,6 +140,36 @@ func (d *DiskFaultInjector) InjectFile(path, class string) error {
 	return nil
 }
 
+// InjectFileAt applies a content-level fault at one specific byte offset —
+// chaos aimed where a binary format is most sensitive. The caller supplies
+// the offsets that matter (e.g. a columnar file's section boundaries from
+// formats.ColumnarSectionOffsets); bit_flip flips one bit of the byte at off,
+// truncate cuts the file to exactly off bytes.
+func (d *DiskFaultInjector) InjectFileAt(path, class string, off int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("diskfault: offset %d outside %s (%d bytes)", off, path, len(data))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch class {
+	case DiskFaultBitFlip:
+		data[off] ^= 1 << uint(d.rand().Intn(8))
+	case DiskFaultTruncate:
+		data = data[:off]
+	default:
+		return fmt.Errorf("diskfault: class %q is not file-level", class)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	d.record(class)
+	return nil
+}
+
 // injectTornRename simulates a crash between the two renames of the atomic
 // directory swap: the live directory vanishes and only the ".<name>.old"
 // sibling remains.
@@ -160,7 +190,9 @@ func (d *DiskFaultInjector) injectTornRename(dir string) error {
 // touching the manifest — the manifest now describes a file that no longer
 // exists in that form.
 func (d *DiskFaultInjector) injectStaleManifest(dir string) error {
-	target, err := d.pickSampleFile(dir)
+	// Only text files carry the footer this injection rewrites; columnar
+	// datasets still expose their .gdm.meta files to it.
+	target, err := d.pickSampleFile(dir, true)
 	if err != nil {
 		return err
 	}
@@ -193,8 +225,9 @@ func (d *DiskFaultInjector) injectStaleManifest(dir string) error {
 }
 
 // pickSampleFile chooses one sample region or metadata file from dir,
-// deterministically under the seed.
-func (d *DiskFaultInjector) pickSampleFile(dir string) (string, error) {
+// deterministically under the seed. textOnly restricts the choice to
+// footer-carrying text files (region/metadata text, not binary .gdmc).
+func (d *DiskFaultInjector) pickSampleFile(dir string, textOnly bool) (string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return "", err
@@ -205,7 +238,8 @@ func (d *DiskFaultInjector) pickSampleFile(dir string) (string, error) {
 		if e.IsDir() || strings.HasPrefix(n, ".") {
 			continue
 		}
-		if strings.HasSuffix(n, ".gdm") || strings.HasSuffix(n, ".gdm.meta") {
+		if strings.HasSuffix(n, ".gdm") || strings.HasSuffix(n, ".gdm.meta") ||
+			(!textOnly && strings.HasSuffix(n, ".gdmc")) {
 			files = append(files, n)
 		}
 	}

@@ -156,3 +156,108 @@ func TestDiskFaultErrors(t *testing.T) {
 		t.Error("empty directory accepted for a file-level fault")
 	}
 }
+
+// TestDiskFaultColumnar: every fault class applies to a columnar dataset
+// directory too, and the strict verified read refuses the damage. The
+// stale-manifest class, which rewrites text footers, must keep picking the
+// .gdm.meta files rather than binary .gdmc ones.
+func TestDiskFaultColumnar(t *testing.T) {
+	writeColumnar := func(t *testing.T) (string, string) {
+		t.Helper()
+		parent := t.TempDir()
+		dir := filepath.Join(parent, "DS")
+		schema := gdm.MustSchema(gdm.Field{Name: "score", Type: gdm.KindFloat})
+		ds := gdm.NewDataset("DS", schema)
+		for _, id := range []string{"s1", "s2"} {
+			s := gdm.NewSample(id)
+			s.Meta.Add("origin", "chaos-test")
+			s.AddRegion(gdm.NewRegion("chr1", 10, 20, gdm.StrandPlus, gdm.Float(1)))
+			if err := ds.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := formats.WriteDatasetColumnar(dir, ds); err != nil {
+			t.Fatal(err)
+		}
+		return parent, dir
+	}
+	for _, class := range AllDiskFaults {
+		t.Run(class, func(t *testing.T) {
+			_, dir := writeColumnar(t)
+			inj := &DiskFaultInjector{Seed: 3}
+			if err := inj.InjectClass(dir, class); err != nil {
+				t.Fatal(err)
+			}
+			if class == DiskFaultStaleManifest {
+				// The rewritten file must be a text one: every .gdmc still
+				// passes its own structural check.
+				entries, err := os.ReadDir(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range entries {
+					if filepath.Ext(e.Name()) != ".gdmc" {
+						continue
+					}
+					path := filepath.Join(dir, e.Name())
+					data, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ie := formats.CheckColumnarStructure("DS", path, data); ie != nil {
+						t.Fatalf("stale-manifest injection touched binary file %s: %v", e.Name(), ie)
+					}
+				}
+			}
+			if _, err := formats.ReadDataset(dir); err == nil {
+				t.Fatalf("strict read succeeded on %s damage", class)
+			}
+		})
+	}
+}
+
+// TestDiskFaultInjectFileAt: offset-targeted faults land exactly where aimed
+// and reject offsets outside the file.
+func TestDiskFaultInjectFileAt(t *testing.T) {
+	_, dir := faultTestDataset(t)
+	path := filepath.Join(dir, "s1.gdm")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &DiskFaultInjector{Seed: 5}
+	if err := inj.InjectFileAt(path, DiskFaultBitFlip, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range before {
+		if before[i] != after[i] {
+			if i != 3 {
+				t.Fatalf("byte %d changed, aimed at 3", i)
+			}
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diff)
+	}
+	if err := inj.InjectFileAt(path, DiskFaultTruncate, 4); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 4 {
+		t.Fatalf("truncate-at left %d bytes, want 4", len(data))
+	}
+	if err := inj.InjectFileAt(path, DiskFaultBitFlip, 99); err == nil {
+		t.Error("offset past end accepted")
+	}
+	if err := inj.InjectFileAt(path, DiskFaultBitFlip, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := inj.InjectFileAt(path, DiskFaultStaleManifest, 0); err == nil {
+		t.Error("non-file-level class accepted")
+	}
+}
