@@ -12,6 +12,7 @@
 //	      [-query-deadline D] [-max-regions N] [-max-bytes N]
 //	      [-drain-timeout 30s]
 //	      [-prof-ring 32] [-prof-cpu D] [-prof-interval D]
+//	      [-peers URL,URL] [-probe-interval 2s]
 //
 // The timeout flags bound how long one HTTP exchange may hold a connection,
 // so a stalled or malicious peer cannot pin server resources forever. The
@@ -54,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +65,7 @@ import (
 	"genogo/internal/formats"
 	"genogo/internal/govern"
 	"genogo/internal/obs"
+	"genogo/internal/resilience"
 )
 
 func main() {
@@ -103,6 +106,9 @@ func run(args []string) error {
 	if n.profStop != nil {
 		n.profStop()
 	}
+	if n.probeStop != nil {
+		n.probeStop()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), n.drainTimeout)
 	defer cancel()
 	if n.metrics != nil {
@@ -122,6 +128,8 @@ type node struct {
 	// profStop halts the continuous profiler's background sampler (nil when
 	// the profiler or its interval sampling is off).
 	profStop func()
+	// probeStop halts the peer health-probe loop (nil without -peers).
+	probeStop func()
 }
 
 // setup parses flags and builds the node's http.Server without binding a
@@ -149,6 +157,8 @@ func setup(args []string, out io.Writer) (*node, error) {
 	profRing := fs.Int("prof-ring", 32, "continuous profiler: max retained pprof captures on /debug/prof (0 disables)")
 	profCPU := fs.Duration("prof-cpu", 0, "continuous profiler: CPU sampling window per capture (0: heap snapshots only)")
 	profInterval := fs.Duration("prof-interval", 0, "continuous profiler: background capture interval (0: capture only on slow-query/kill/shed events)")
+	peers := fs.String("peers", "", "comma-separated base URLs of federation peers to health-check (populates /debug/federation)")
+	probeInterval := fs.Duration("probe-interval", federation.DefaultProbeInterval, "health-probe cadence for -peers")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -215,22 +225,64 @@ func setup(args []string, out io.Writer) (*node, error) {
 		return nil, fmt.Errorf("no datasets found under %s", *dataDir)
 	}
 
+	// Peer membership: probe the named peers in the background and serve the
+	// live view on /debug/federation (mounted by the server's handler).
+	var probeStop func()
+	if *peers != "" {
+		var clients []*federation.Client
+		for _, u := range strings.Split(*peers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			clients = append(clients, federation.NewClient(u,
+				federation.WithBreaker(&resilience.Breaker{})))
+		}
+		if len(clients) > 0 {
+			prober := federation.NewProber(clients)
+			prober.Interval = *probeInterval
+			probeStop = prober.Start()
+			srv.Membership = func() *federation.MembershipSnapshot {
+				snap := &federation.MembershipSnapshot{}
+				for i, st := range prober.Status() {
+					snap.Members = append(snap.Members, federation.MemberSnapshot{
+						MemberHealth: st,
+						Breaker:      clients[i].Breaker.State().String(),
+					})
+				}
+				return snap
+			}
+			fmt.Fprintf(out, "probing %d peer(s) every %v\n", len(clients), *probeInterval)
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	storageState := func() any { return formats.IntegritySnapshot() }
 	const storageDesc = "storage integrity: per-dataset manifest verification reports"
+	// The membership console must also be mounted on the debug mux: the
+	// /debug/ index handler there shadows the federation server's own
+	// /debug/federation mount for anything routed through it.
+	membership := func() *federation.MembershipSnapshot {
+		if srv.Membership == nil {
+			return nil
+		}
+		return srv.Membership()
+	}
 	var metricsSrv *http.Server
 	if *metricsAddr == "" {
 		obs.Mount(mux, obs.Default())
 		obs.MountState(mux, "/debug/storage", storageDesc, storageState)
 		obs.MountSlowlog(mux, srv.SlowLog)
 		catalog.MountRepo(mux, catalog.Repo())
+		federation.MountFederation(mux, membership)
 	} else {
 		mmux := http.NewServeMux()
 		obs.Mount(mmux, obs.Default())
 		obs.MountState(mmux, "/debug/storage", storageDesc, storageState)
 		obs.MountSlowlog(mmux, srv.SlowLog)
 		catalog.MountRepo(mmux, catalog.Repo())
+		federation.MountFederation(mmux, membership)
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
 		fmt.Fprintf(out, "metrics on %s\n", *metricsAddr)
 	}
@@ -247,5 +299,6 @@ func setup(args []string, out io.Writer) (*node, error) {
 		gate:         gate,
 		drainTimeout: *drainTimeout,
 		profStop:     profStop,
+		probeStop:    probeStop,
 	}, nil
 }

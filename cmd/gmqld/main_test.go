@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -204,5 +205,96 @@ func TestConsoleEndpointOnMainAddr(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("console entry missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestPeersMembershipConsole: with -peers, the node probes its peers in the
+// background and serves the live membership view on /debug/federation; a dead
+// peer walks down to suspect/down while live ones stay up.
+func TestPeersMembershipConsole(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer peer.Close()
+	deadPeer := httptest.NewServer(http.HandlerFunc(nil))
+	deadURL := deadPeer.URL
+	deadPeer.Close() // connection refused from the first probe
+
+	dir := writeRepo(t)
+	var out bytes.Buffer
+	n, err := setup([]string{"-data", dir, "-mode", "serial",
+		"-peers", peer.URL + ", " + deadURL, "-probe-interval", "10ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.probeStop()
+	if n.probeStop == nil {
+		t.Fatal("no probe loop started despite -peers")
+	}
+	if !strings.Contains(out.String(), "probing 2 peer(s)") {
+		t.Errorf("output = %q", out.String())
+	}
+	ts := httptest.NewServer(n.srv.Handler)
+	defer ts.Close()
+
+	// Wait for the dead peer to reach "down" (3 consecutive failed probes).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/debug/federation", nil)
+		req.Header.Set("Accept", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap federation.MembershipSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Members) != 2 {
+			t.Fatalf("members = %+v", snap.Members)
+		}
+		if snap.Members[0].StateName == "up" && snap.Members[1].StateName == "down" {
+			if snap.Members[1].Failures < 3 || snap.Members[1].Err == "" {
+				t.Errorf("down peer record = %+v", snap.Members[1])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("membership never converged: %+v", snap.Members)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The HTML console and the /debug/ index carry the endpoint too.
+	resp, err := http.Get(ts.URL + "/debug/federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "federation membership") {
+		t.Error("HTML console missing")
+	}
+
+	// Without -peers the node is a standalone page, and no probe loop runs.
+	n2, err := setup([]string{"-data", dir, "-mode", "serial"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.probeStop != nil {
+		t.Error("probe loop started without -peers")
+	}
+	ts2 := httptest.NewServer(n2.srv.Handler)
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "standalone node") {
+		t.Error("standalone page missing without -peers")
 	}
 }

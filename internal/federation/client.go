@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"genogo/internal/engine"
@@ -35,8 +36,8 @@ const (
 //
 // Retrier and Breaker are optional: when set, every request is retried per
 // the retrier's policy and gated by the breaker (per-endpoint circuit
-// breaking). A Client must not be shared across goroutines while queries
-// are in flight; the Federator gives each member its own.
+// breaking). A Client is safe for concurrent use: under a replica placement,
+// legs with overlapping member sets dispatch to the same client at once.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -46,9 +47,17 @@ type Client struct {
 	// (nil = no circuit breaking).
 	Breaker *resilience.Breaker
 	// MaxBodyBytes caps response bodies; <= 0 means DefaultMaxBodyBytes.
-	MaxBodyBytes  int64
+	MaxBodyBytes int64
+	// BytesReceived and BytesSent are accessed atomically (read them via
+	// Bytes while requests may be in flight).
 	BytesReceived int64
 	BytesSent     int64
+}
+
+// Bytes totals payload traffic through this client, safe against in-flight
+// requests.
+func (c *Client) Bytes() int64 {
+	return atomic.LoadInt64(&c.BytesReceived) + atomic.LoadInt64(&c.BytesSent)
 }
 
 // Option configures a Client built by NewClient.
@@ -157,7 +166,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, wa
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
-			c.BytesSent += int64(len(payload))
+			atomic.AddInt64(&c.BytesSent, int64(len(payload)))
 		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
@@ -170,10 +179,18 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, wa
 			c.Breaker.Report(err)
 			return err
 		}
-		c.BytesReceived += int64(len(b))
+		atomic.AddInt64(&c.BytesReceived, int64(len(b)))
 		if resp.StatusCode != wantStatus {
 			serr := &resilience.StatusError{
 				Code: resp.StatusCode, Status: resp.Status, Body: truncateBody(b),
+			}
+			// Shed responses (429/503 from the admission gate) say when to
+			// come back; carry the hint so the retrier honors it instead of
+			// its own backoff schedule.
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+					serr.RetryAfter = time.Duration(secs) * time.Second
+				}
 			}
 			c.Breaker.Report(serr)
 			return serr
@@ -443,6 +460,23 @@ type Federator struct {
 	// Queries is the registry federated queries register in for the
 	// /debug/queries console; nil means the process-wide obs.Queries().
 	Queries *obs.QueryRegistry
+
+	// Placement, when non-nil, turns on replicated federation: data units
+	// registered on R members collapse into replica groups, the query runs
+	// one leg per group (served by any one replica, with failover to the
+	// survivors when a member dies mid-query), and the merge dedups samples
+	// by identity so overlapping replicas can never double-count. Nil keeps
+	// the legacy layout: one leg per member, no failover.
+	Placement *Placement
+	// Prober, when non-nil, supplies member health for replica ordering:
+	// legs try up members before suspect ones before down ones. Nil treats
+	// every replica alike.
+	Prober *Prober
+	// Hedge configures hedged requests within a replica group.
+	Hedge HedgePolicy
+
+	// hedgeWin tracks recent leg latencies for the adaptive hedge delay.
+	hedgeWin latencyWindow
 }
 
 // queries resolves the console registry.
@@ -457,7 +491,7 @@ func (f *Federator) queries() *obs.QueryRegistry {
 func (f *Federator) BytesMoved() int64 {
 	var total int64
 	for _, c := range f.Clients {
-		total += c.BytesReceived + c.BytesSent
+		total += c.Bytes()
 	}
 	return total
 }

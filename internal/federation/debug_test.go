@@ -1,13 +1,17 @@
 package federation
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"genogo/internal/engine"
+	"genogo/internal/obs"
 	"genogo/internal/synth"
 )
 
@@ -35,6 +39,138 @@ func TestNodeDebugEndpoints(t *testing.T) {
 		}
 		if len(body) == 0 {
 			t.Errorf("%s returned empty body", path)
+		}
+	}
+}
+
+// TestFederationConsole: the /debug/federation membership console renders the
+// probed member table, breaker positions, and the placement map — as HTML, as
+// JSON, and listed on the /debug/ discovery index.
+func TestFederationConsole(t *testing.T) {
+	rc := newReplCluster(t, [][]string{{"A", "B"}, {"A", "B"}})
+	rc.outages[1].Kill()
+	p := NewProber(rc.clients)
+	p.Interval = time.Hour
+	p.ProbeAll(context.Background())
+	fed := &Federator{
+		Clients: rc.clients,
+		Placement: NewPlacement().
+			Register("ENCODE@A", 0, 1).
+			Register("ENCODE@B", 1),
+		Prober: p,
+		Hedge:  HedgePolicy{Enabled: true},
+	}
+	mux := http.NewServeMux()
+	MountFederation(mux, func() *MembershipSnapshot {
+		s := fed.Membership()
+		return &s
+	})
+	obs.MountIndex(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	get := func(path, accept string) (int, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, html := get("/debug/federation", "")
+	if code != http.StatusOK {
+		t.Fatalf("console status = %d", code)
+	}
+	for _, want := range []string{
+		rc.urls[0], rc.urls[1], "ENCODE@A", "ENCODE@B",
+		">up<", ">suspect<", "hedging on", "placement",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("console HTML missing %q", want)
+		}
+	}
+
+	code, body := get("/debug/federation", "application/json")
+	if code != http.StatusOK {
+		t.Fatalf("console JSON status = %d", code)
+	}
+	var snap MembershipSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("console JSON: %v\n%s", err, body)
+	}
+	if len(snap.Members) != 2 || !snap.Hedging || len(snap.Placement) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Members[0].State != 0 || snap.Members[0].StateName != "up" {
+		t.Errorf("member 0 = %+v, want state up", snap.Members[0])
+	}
+	if snap.Members[1].StateName != "suspect" {
+		t.Errorf("member 1 = %+v, want state suspect", snap.Members[1])
+	}
+	if snap.Members[0].Breaker != "closed" {
+		t.Errorf("member 0 breaker = %q", snap.Members[0].Breaker)
+	}
+	if snap.Placement[0].Replicas != 2 || len(snap.Placement[0].Members) != 2 {
+		t.Errorf("placement row 0 = %+v", snap.Placement[0])
+	}
+
+	if _, index := get("/debug/", ""); !strings.Contains(index, "/debug/federation") {
+		t.Error("/debug/ index does not list the federation console")
+	}
+
+	// A process coordinating no federation renders the standalone page.
+	solo := http.NewServeMux()
+	MountFederation(solo, nil)
+	sts := httptest.NewServer(solo)
+	defer sts.Close()
+	resp, err := http.Get(sts.URL + "/debug/federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "standalone node") {
+		t.Error("standalone page missing")
+	}
+}
+
+// TestServerHealthEndpoint: federation nodes answer the prober's GET /health
+// with their identity and catalog size.
+func TestServerHealthEndpoint(t *testing.T) {
+	g := synth.New(42)
+	srv := NewServer("node-h", engine.Config{Mode: engine.ModeSerial, MetaFirst: true},
+		g.Encode(synth.EncodeOptions{Samples: 2, MeanPeaks: 10}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/health status = %d", resp.StatusCode)
+	}
+	var h struct {
+		OK       bool   `json:"ok"`
+		Node     string `json:"node"`
+		Datasets int    `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Node != "node-h" || h.Datasets != 1 {
+		t.Errorf("health = %+v", h)
+	}
+	if resp, err := http.Post(ts.URL+"/health", "text/plain", nil); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Error("POST /health should not be accepted")
 		}
 	}
 }

@@ -17,4 +17,14 @@ var (
 		"Queries executed by this node on behalf of remote requesters.")
 	metricStagedResults = obs.Default().Gauge("genogo_federation_staged_results",
 		"Results currently held in this node's staging area.")
+	metricMemberUp = obs.Default().GaugeVec("genogo_federation_member_up",
+		"Membership: 1 while the member's last probe succeeded, 0 otherwise.", "member")
+	metricProbeLatency = obs.Default().HistogramVec("genogo_federation_probe_latency_seconds",
+		"Round trip of successful health probes, by member.", nil, "member")
+	metricFailovers = obs.Default().Counter("genogo_federation_failover_total",
+		"Query legs re-dispatched to a surviving replica after a member failed.")
+	metricHedges = obs.Default().CounterVec("genogo_federation_hedges_total",
+		"Hedged replica requests by outcome: win (hedge answered first), canceled (primary answered first), failed.", "outcome")
+	metricDedupSamples = obs.Default().Counter("genogo_federation_dedup_samples_total",
+		"Samples dropped by the merge's replica dedup (already merged from an overlapping replica).")
 )

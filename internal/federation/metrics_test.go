@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"genogo/internal/obs"
 	"genogo/internal/resilience"
@@ -127,5 +128,73 @@ func TestMetricsProfileOverTheWire(t *testing.T) {
 	}
 	if qr2.Profile != nil {
 		t.Errorf("unprofiled response carries a profile")
+	}
+}
+
+// TestMetricsReplicationFamilies checks the replication metric families
+// (membership gauge, probe-latency histogram, failover and hedge counters,
+// dedup counter) render in the Prometheus 0.0.4 exposition, and that a
+// probed + failed-over query produces the expected series. Deltas only: the
+// registry is process-global and the CI job runs this with -count=2.
+func TestMetricsReplicationFamilies(t *testing.T) {
+	var b strings.Builder
+	if err := obs.Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"# TYPE genogo_federation_member_up gauge",
+		"# TYPE genogo_federation_probe_latency_seconds histogram",
+		"# TYPE genogo_federation_failover_total counter",
+		"# TYPE genogo_federation_hedges_total counter",
+		"# TYPE genogo_federation_dedup_samples_total counter",
+	} {
+		if !strings.Contains(b.String(), fam) {
+			t.Errorf("exposition missing %q", fam)
+		}
+	}
+
+	rc := newReplCluster(t, [][]string{{"A", "B"}, {"A", "B"}})
+	p := NewProber(rc.clients)
+	p.Interval = time.Hour
+	p.ProbeAll(context.Background())
+	rc.outages[0].Kill()
+	failoversBefore := metricFailovers.Value()
+	fed := &Federator{
+		Clients:   rc.clients,
+		Policy:    Policy{AllowPartial: true},
+		Placement: NewPlacement().Register("ENCODE", 0, 1),
+		Prober:    p,
+	}
+	if _, report, err := fed.Query(context.Background(), replScript, "X", 4); err != nil || report != nil {
+		t.Fatalf("err=%v report=%v", err, report)
+	}
+	if d := metricFailovers.Value() - failoversBefore; d != 1 {
+		t.Errorf("failover delta = %d, want 1 (probe round saw it up; kill landed after)", d)
+	}
+
+	b.Reset()
+	if err := obs.Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, series := range []string{
+		`genogo_federation_member_up{member="` + rc.urls[0] + `"} 1`,
+		`genogo_federation_member_up{member="` + rc.urls[1] + `"} 1`,
+		`genogo_federation_probe_latency_seconds_count{member="` + rc.urls[0] + `"}`,
+		`genogo_federation_failover_total `,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing series %q", series)
+		}
+	}
+
+	// The next probe round sees the dead member and flips its gauge to 0.
+	p.ProbeAll(context.Background())
+	b.Reset()
+	if err := obs.Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `genogo_federation_member_up{member="`+rc.urls[0]+`"} 0`) {
+		t.Error("dead member's membership gauge still reads up")
 	}
 }

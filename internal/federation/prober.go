@@ -1,0 +1,267 @@
+package federation
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"genogo/internal/resilience"
+)
+
+// Health is a member's membership state as seen by the prober.
+type Health uint8
+
+// Membership states. A member moves Up on any successful probe, Suspect
+// after SuspectAfter consecutive probe failures, and Down after DownAfter —
+// the classic incremental suspicion ladder, so one lost probe degrades a
+// member's placement rank without writing it off.
+const (
+	HealthUnknown Health = iota // never probed
+	HealthUp
+	HealthSuspect
+	HealthDown
+)
+
+// String names the state.
+func (h Health) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// rank orders states for replica selection: prefer Up, then never-probed,
+// then Suspect; Down members are the last resort.
+func (h Health) rank() int {
+	switch h {
+	case HealthUp:
+		return 0
+	case HealthUnknown:
+		return 1
+	case HealthSuspect:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Health probes the node with one bare GET /health — no retries, and past
+// the circuit breaker's gate on purpose: probes are how an OPEN breaker
+// discovers recovery without a live query paying for the discovery. The
+// outcome still feeds the breaker (a successful probe closes it), so by the
+// time a query leg reaches a recovered member its circuit is already closed.
+func (c *Client) Health(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/health", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		c.Breaker.Report(err)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		serr := &resilience.StatusError{Code: resp.StatusCode, Status: resp.Status}
+		c.Breaker.Report(serr)
+		return 0, serr
+	}
+	c.Breaker.Report(nil)
+	return time.Since(start), nil
+}
+
+// MemberHealth is one member's membership record.
+type MemberHealth struct {
+	Member string `json:"member"` // base URL
+	State  Health `json:"-"`
+	// StateName is the JSON rendering of State.
+	StateName string        `json:"state"`
+	LastProbe time.Time     `json:"last_probe,omitempty"`
+	Latency   time.Duration `json:"-"`
+	// LatencyMS is the last successful probe's round trip.
+	LatencyMS float64 `json:"latency_ms"`
+	// Failures counts consecutive probe failures (0 when Up).
+	Failures int    `json:"failures,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Prober drives the membership layer: it periodically probes every member
+// and maintains per-member up/suspect/down state. Probes bypass the circuit
+// breakers' gates but report into them, so breakers recover from probe
+// traffic instead of sacrificed queries. The Federator consults the prober
+// (when wired) to order replicas within a leg — live members first.
+type Prober struct {
+	// Clients are the members to probe, index-aligned with
+	// Federator.Clients.
+	Clients []*Client
+	// Interval between probe rounds; <= 0 means DefaultProbeInterval.
+	Interval time.Duration
+	// Timeout bounds one probe; <= 0 means half the interval, capped at 2s.
+	Timeout time.Duration
+	// SuspectAfter is the consecutive-failure count that marks a member
+	// suspect; <= 0 means 1.
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that marks a member down;
+	// <= 0 means 3.
+	DownAfter int
+
+	mu     sync.Mutex
+	states []MemberHealth
+}
+
+// DefaultProbeInterval is the probe cadence when Prober.Interval is unset.
+const DefaultProbeInterval = 2 * time.Second
+
+// NewProber builds a prober over the federation's member clients.
+func NewProber(clients []*Client) *Prober {
+	p := &Prober{Clients: clients}
+	p.states = make([]MemberHealth, len(clients))
+	for i, c := range clients {
+		p.states[i] = MemberHealth{Member: c.BaseURL, StateName: HealthUnknown.String()}
+	}
+	return p
+}
+
+func (p *Prober) interval() time.Duration {
+	if p.Interval > 0 {
+		return p.Interval
+	}
+	return DefaultProbeInterval
+}
+
+func (p *Prober) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	t := p.interval() / 2
+	if t > 2*time.Second {
+		t = 2 * time.Second
+	}
+	if t <= 0 {
+		t = time.Second
+	}
+	return t
+}
+
+func (p *Prober) suspectAfter() int {
+	if p.SuspectAfter > 0 {
+		return p.SuspectAfter
+	}
+	return 1
+}
+
+func (p *Prober) downAfter() int {
+	if p.DownAfter > 0 {
+		return p.DownAfter
+	}
+	return 3
+}
+
+// ProbeAll runs one synchronous probe round over every member (tests and
+// the background loop share it). Members are probed concurrently.
+func (p *Prober) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range p.Clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, p.timeout())
+			defer cancel()
+			lat, err := p.Clients[i].Health(pctx)
+			p.record(i, lat, err)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// record applies one probe outcome to the member's state machine.
+func (p *Prober) record(i int, lat time.Duration, err error) {
+	p.mu.Lock()
+	st := &p.states[i]
+	st.LastProbe = time.Now()
+	if err == nil {
+		st.State = HealthUp
+		st.Failures = 0
+		st.Err = ""
+		st.Latency = lat
+		st.LatencyMS = float64(lat.Microseconds()) / 1e3
+		metricProbeLatency.With(st.Member).Observe(lat.Seconds())
+	} else {
+		st.Failures++
+		st.Err = err.Error()
+		if st.Failures >= p.downAfter() {
+			st.State = HealthDown
+		} else if st.Failures >= p.suspectAfter() {
+			st.State = HealthSuspect
+		}
+	}
+	st.StateName = st.State.String()
+	up := int64(0)
+	if st.State == HealthUp {
+		up = 1
+	}
+	p.mu.Unlock()
+	metricMemberUp.With(p.Clients[i].BaseURL).Set(up)
+}
+
+// Start launches the background probe loop and returns its stop function
+// (idempotent; it waits for the loop to exit). The first round fires
+// immediately so membership is populated before the first query.
+func (p *Prober) Start() (stop func()) {
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		ctx := context.Background()
+		p.ProbeAll(ctx)
+		t := time.NewTicker(p.interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				p.ProbeAll(ctx)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+}
+
+// Status snapshots every member's membership record.
+func (p *Prober) Status() []MemberHealth {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]MemberHealth(nil), p.states...)
+}
+
+// HealthOf reports one member's state (HealthUnknown for a nil prober or an
+// out-of-range index, so an unwired federator treats every replica alike).
+func (p *Prober) HealthOf(member int) Health {
+	if p == nil {
+		return HealthUnknown
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if member < 0 || member >= len(p.states) {
+		return HealthUnknown
+	}
+	return p.states[member].State
+}

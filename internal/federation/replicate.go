@@ -1,0 +1,309 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"genogo/internal/gdm"
+	"genogo/internal/obs"
+)
+
+// HedgePolicy configures hedged requests: after a delay, a leg still waiting
+// on its primary replica launches the same work on the next replica and
+// takes the first winner, canceling the loser — trading a bounded amount of
+// duplicate work for a tail latency set by the second-slowest replica
+// instead of the slowest.
+type HedgePolicy struct {
+	// Enabled turns hedging on (replicated federation only).
+	Enabled bool
+	// Delay is the floor (and the fallback while the latency window is
+	// still cold) for the hedge trigger; <= 0 means DefaultHedgeDelay.
+	Delay time.Duration
+	// MaxDelay caps the adaptive trigger; <= 0 means DefaultHedgeMaxDelay.
+	MaxDelay time.Duration
+}
+
+// Hedge delay bounds when HedgePolicy leaves them unset.
+const (
+	DefaultHedgeDelay    = 50 * time.Millisecond
+	DefaultHedgeMaxDelay = 2 * time.Second
+)
+
+// latencyWindowSize is the ring of recent leg latencies the adaptive hedge
+// delay is computed over.
+const latencyWindowSize = 128
+
+// latencyMinSamples is how many observations the window needs before its
+// p99 is trusted over HedgePolicy.Delay.
+const latencyMinSamples = 8
+
+// latencyWindow is a fixed-size ring of recent successful leg latencies.
+// The zero value is ready to use.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [latencyWindowSize]time.Duration
+	n   int // observations recorded (may exceed len(buf))
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.n%latencyWindowSize] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// p99 reports the window's 99th-percentile latency; ok is false while the
+// window holds fewer than latencyMinSamples observations.
+func (w *latencyWindow) p99() (d time.Duration, ok bool) {
+	w.mu.Lock()
+	n := w.n
+	if n > latencyWindowSize {
+		n = latencyWindowSize
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, w.buf[:n])
+	w.mu.Unlock()
+	if n < latencyMinSamples {
+		return 0, false
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (n*99 + 99) / 100 // ceil(0.99*n)
+	if idx > n {
+		idx = n
+	}
+	return sorted[idx-1], true
+}
+
+// hedgeDelay resolves the current hedge trigger: the window's p99 when warm
+// (clamped to [Delay, MaxDelay]), the configured Delay while cold.
+func (f *Federator) hedgeDelay() time.Duration {
+	floor := f.Hedge.Delay
+	if floor <= 0 {
+		floor = DefaultHedgeDelay
+	}
+	cap := f.Hedge.MaxDelay
+	if cap <= 0 {
+		cap = DefaultHedgeMaxDelay
+	}
+	d := floor
+	if p99, ok := f.hedgeWin.p99(); ok && p99 > d {
+		d = p99
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// rankReplicas orders a group's members for dispatch: healthiest first
+// (up < unknown < suspect < down per the prober), stable by index so the
+// order is deterministic when health ties.
+func (f *Federator) rankReplicas(members []int) []int {
+	out := append([]int(nil), members...)
+	if f.Prober == nil {
+		return out
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return f.Prober.HealthOf(out[i]).rank() < f.Prober.HealthOf(out[j]).rank()
+	})
+	return out
+}
+
+// legGroups resolves the query's leg structure from the placement (nil
+// placement is handled by the caller's legacy path).
+func (f *Federator) legGroups() ([]ReplicaGroup, error) {
+	if err := f.Placement.Validate(len(f.Clients)); err != nil {
+		return nil, err
+	}
+	groups := f.Placement.Groups()
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("federation: placement registers no data units")
+	}
+	return groups, nil
+}
+
+// legTrace builds the observability for one replica leg: a LEG span under
+// the federated root holding one MEMBER attempt span per dispatched replica,
+// each annotated with its role (primary, failover, hedge).
+type legTrace struct {
+	entry    *obs.QueryEntry
+	legSp    *obs.Span // nil when unprofiled
+	qid      string
+	group    ReplicaGroup
+	attempts int
+}
+
+// attempt opens the observability for one replica attempt and returns the
+// memberTrace queryNode drives. role is "primary", "failover", or "hedge".
+func (lt *legTrace) attempt(member int, baseURL, role string) *memberTrace {
+	lt.attempts++
+	tr := &memberTrace{entry: lt.entry, idx: member}
+	if lt.legSp != nil {
+		sp := obs.NewSpan("MEMBER")
+		sp.Detail = fmt.Sprintf("MEMBER %d %s", member+1, baseURL)
+		sp.Mode = "fed"
+		sp.SetAttr("role", role)
+		sp.SetAttr("leg", lt.group.Key)
+		lt.legSp.AddChild(sp)
+		tr.span = sp
+		tr.ref = fmt.Sprintf("%s/leg%s/member%d.%d", lt.qid, lt.group.Key, member+1, lt.attempts)
+	}
+	return tr
+}
+
+// legResult is one leg's outcome: the winning replica's dataset, or the
+// failures of every replica tried.
+type legResult struct {
+	group ReplicaGroup
+	ds    *gdm.Dataset
+	// fails holds one NodeFailure per replica attempt that failed. The leg
+	// failed only when ds is nil; a non-nil ds with fails means failover
+	// saved the leg and the result is still exact.
+	fails []NodeFailure
+}
+
+// runLeg executes one replica group's leg: dispatch to the healthiest
+// replica, fail over to the survivors when an attempt dies, and (when
+// hedging is on) launch a second replica after the adaptive delay, taking
+// the first winner and canceling the loser. The leg fails only when every
+// replica has been tried and failed.
+func (f *Federator) runLeg(ctx context.Context, script, varName string, chunkSize int, lt *legTrace) legResult {
+	res := legResult{group: lt.group}
+	order := f.rankReplicas(lt.group.Members)
+
+	type attemptOutcome struct {
+		ds   *gdm.Dataset
+		fail *NodeFailure
+		role string
+	}
+	outcomes := make(chan attemptOutcome, len(order))
+	cancels := make([]context.CancelFunc, 0, len(order))
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	launched := 0
+	launch := func(role string) bool {
+		if launched >= len(order) {
+			return false
+		}
+		m := order[launched]
+		launched++
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		tr := lt.attempt(m, f.Clients[m].BaseURL, role)
+		started := time.Now()
+		go func() {
+			ds, fail := queryNode(actx, f.Clients[m], script, varName, chunkSize, tr)
+			if fail == nil {
+				f.hedgeWin.observe(time.Since(started))
+			}
+			outcomes <- attemptOutcome{ds: ds, fail: fail, role: role}
+		}()
+		return true
+	}
+
+	launch("primary")
+	pending := 1
+	var hedgeC <-chan time.Time
+	if f.Hedge.Enabled && len(order) > 1 {
+		t := time.NewTimer(f.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedgeOutstanding := false
+	for pending > 0 {
+		select {
+		case out := <-outcomes:
+			pending--
+			if out.role == "hedge" {
+				hedgeOutstanding = false
+			}
+			if out.fail == nil {
+				// Winner: everything still in flight is a loser — cancel it.
+				if out.role == "hedge" {
+					metricHedges.With("win").Inc()
+				} else if hedgeOutstanding {
+					metricHedges.With("canceled").Inc()
+				}
+				if out.role == "failover" && lt.legSp != nil {
+					lt.legSp.SetAttr("failover", "recovered")
+				}
+				res.ds = out.ds
+				return res
+			}
+			res.fails = append(res.fails, *out.fail)
+			if out.role == "hedge" {
+				metricHedges.With("failed").Inc()
+			}
+			if pending == 0 && launch("failover") {
+				pending++
+				metricFailovers.Inc()
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch("hedge") {
+				pending++
+				hedgeOutstanding = true
+			}
+		}
+	}
+	// Every replica tried and failed: the leg is lost.
+	if lt.legSp != nil {
+		lt.legSp.SetAttr("error", "all replicas failed")
+	}
+	return res
+}
+
+// legFailure summarizes a lost leg for the PartialFailure report: one
+// NodeFailure naming the leg's units and every replica that was tried.
+func (r legResult) legFailure() NodeFailure {
+	nodes := make([]string, len(r.fails))
+	for i := range r.fails {
+		nodes[i] = r.fails[i].Node
+	}
+	last := r.fails[len(r.fails)-1]
+	return NodeFailure{
+		Node:  strings.Join(nodes, "+"),
+		Stage: last.Stage,
+		Err: fmt.Errorf("leg %s (units %s): all %d replica(s) failed, last: %w",
+			r.group.Key, strings.Join(r.group.Units, ","), len(r.fails), last.Err),
+	}
+}
+
+// dedupFilter drops samples whose identity has already been merged from an
+// overlapping replica, preserving order. It returns the filtered dataset
+// (the input when nothing was dropped) and the number of duplicates removed.
+func dedupFilter(seen map[string]bool, ds *gdm.Dataset) (*gdm.Dataset, int) {
+	dropped := 0
+	fresh := 0
+	for i := range ds.Samples {
+		if seen[ds.Samples[i].ID] {
+			dropped++
+		} else {
+			fresh++
+		}
+	}
+	if dropped == 0 {
+		for i := range ds.Samples {
+			seen[ds.Samples[i].ID] = true
+		}
+		return ds, 0
+	}
+	out := gdm.NewDataset(ds.Name, ds.Schema)
+	out.Samples = make([]*gdm.Sample, 0, fresh)
+	for i := range ds.Samples {
+		if seen[ds.Samples[i].ID] {
+			continue
+		}
+		seen[ds.Samples[i].ID] = true
+		out.Samples = append(out.Samples, ds.Samples[i])
+	}
+	return out, dropped
+}

@@ -131,6 +131,11 @@ type Server struct {
 	// The zero value disables budgets; cancellation (client disconnect) is
 	// always honored.
 	Limits engine.Limits
+
+	// Membership, when non-nil, feeds this node's /debug/federation console
+	// with a coordinator's membership view (gmqld wires its peer prober
+	// here). Nil renders the standalone-node page. Set it before serving.
+	Membership func() *MembershipSnapshot
 }
 
 // queries resolves the console registry.
@@ -197,6 +202,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/results/", s.handleResults)
+	mux.HandleFunc("/health", s.handleHealth)
+	MountFederation(mux, func() *MembershipSnapshot {
+		if s.Membership == nil {
+			return nil
+		}
+		return s.Membership()
+	})
 	obs.MountQueries(mux, s.queries())
 	obs.MountProf(mux, obs.Prof())
 	obs.MountCosts(mux, obs.Costs())
@@ -204,6 +216,22 @@ func (s *Server) Handler() http.Handler {
 	obs.MountEstimates(mux, obs.Estimates())
 	obs.MountIndex(mux)
 	return mux
+}
+
+// handleHealth answers the membership prober: a cheap liveness probe that
+// touches no datasets. It reports the node name and staging occupancy so a
+// human probing by hand learns something too.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	staged, datasets := len(s.staged), len(s.data)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "node": s.name, "datasets": datasets, "staged": staged,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

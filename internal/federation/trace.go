@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -96,10 +97,10 @@ func (tr *memberTrace) leg(ctx context.Context) (context.Context, *callTrace, fu
 // span; the console entry's member slot tracks the same stages live.
 func queryNode(ctx context.Context, c *Client, script, varName string, chunkSize int, tr *memberTrace) (ds *gdm.Dataset, fail *NodeFailure) {
 	start := time.Now()
-	bytesBefore := c.BytesReceived + c.BytesSent
+	bytesBefore := c.Bytes()
 	defer func() {
 		metricMemberLatency.With(c.BaseURL).Observe(time.Since(start).Seconds())
-		tr.state.Bytes = c.BytesReceived + c.BytesSent - bytesBefore
+		tr.state.Bytes = c.Bytes() - bytesBefore
 		tr.state.Breaker = c.Breaker.State().String()
 		if fail != nil {
 			metricMemberFailures.With(fail.Stage).Inc()
@@ -244,6 +245,16 @@ func (f *Federator) run(ctx context.Context, script, varName string, chunkSize i
 	}
 	began := time.Now()
 
+	replicated := f.Placement != nil
+	var groups []ReplicaGroup
+	if replicated {
+		var gerr error
+		groups, gerr = f.legGroups()
+		if gerr != nil {
+			return nil, nil, nil, gerr
+		}
+	}
+
 	entry := f.queries().Begin(qid, "federator", varName, script)
 	nodes := make([]string, len(f.Clients))
 	for i, c := range f.Clients {
@@ -252,7 +263,6 @@ func (f *Federator) run(ctx context.Context, script, varName string, chunkSize i
 	entry.InitMembers(nodes)
 
 	var root *obs.Span
-	traces := make([]*memberTrace, len(f.Clients))
 	if profile {
 		root = obs.NewSpan("FEDERATED")
 		root.Detail = fmt.Sprintf("FEDERATED %s (%d members)", varName, len(f.Clients))
@@ -264,39 +274,20 @@ func (f *Federator) run(ctx context.Context, script, varName string, chunkSize i
 		planSp.Detail = fmt.Sprintf("PLAN %s digest=%s", varName, obs.ScriptDigest(script))
 		planSp.Mode = "fed"
 		root.AddChild(planSp)
-		for i := range f.Clients {
-			memberSp := obs.NewSpan("MEMBER")
-			memberSp.Detail = fmt.Sprintf("MEMBER %d %s", i+1, f.Clients[i].BaseURL)
-			memberSp.Mode = "fed"
-			root.AddChild(memberSp)
-			traces[i] = &memberTrace{
-				span: memberSp, entry: entry, idx: i,
-				ref: fmt.Sprintf("%s/member%d", qid, i+1),
-			}
+		if replicated {
+			planSp.SetAttr("replicated", "true")
+			planSp.SetAttr("legs", strconv.Itoa(len(groups)))
 		}
 		planSp.SetOutput(len(f.Clients), 0)
 		planSp.Finish(planStart)
-	} else {
-		for i := range f.Clients {
-			traces[i] = &memberTrace{entry: entry, idx: i}
-		}
 	}
 
-	type nodeResult struct {
-		ds   *gdm.Dataset
-		fail *NodeFailure
+	var results []legResult
+	if replicated {
+		results = f.runReplicated(ctx, script, varName, chunkSize, qid, entry, root, groups)
+	} else {
+		results = f.runLegacy(ctx, script, varName, chunkSize, qid, entry, root)
 	}
-	results := make([]nodeResult, len(f.Clients))
-	var wg sync.WaitGroup
-	for i, c := range f.Clients {
-		wg.Add(1)
-		go func(i int, c *Client) {
-			defer wg.Done()
-			ds, fail := queryNode(ctx, c, script, varName, chunkSize, traces[i])
-			results[i] = nodeResult{ds, fail}
-		}(i, c)
-	}
-	wg.Wait()
 
 	finish := func(status obs.QueryStatus, err error) {
 		errText := ""
@@ -321,26 +312,44 @@ func (f *Federator) run(ctx context.Context, script, varName string, chunkSize i
 	var report *PartialFailure
 	successes := 0
 	sIn, rIn := 0, 0
+	dedup := 0
+	var seen map[string]bool
+	if replicated {
+		seen = make(map[string]bool)
+	}
 	for _, r := range results {
-		if r.fail != nil {
+		if r.ds == nil {
 			if report == nil {
 				report = &PartialFailure{QueryID: qid}
 			}
-			report.Failed = append(report.Failed, *r.fail)
+			if replicated {
+				report.Failed = append(report.Failed, r.legFailure())
+			} else {
+				report.Failed = append(report.Failed, r.fails...)
+			}
 			continue
 		}
 		successes++
-		rs := 0
-		for i := range r.ds.Samples {
-			rs += len(r.ds.Samples[i].Regions)
+		ds := r.ds
+		if replicated {
+			// Overlapping replica groups may return the same sample from two
+			// legs; merge each identity exactly once so replication can never
+			// double-count.
+			var dropped int
+			ds, dropped = dedupFilter(seen, ds)
+			dedup += dropped
 		}
-		sIn += len(r.ds.Samples)
+		rs := 0
+		for i := range ds.Samples {
+			rs += len(ds.Samples[i].Regions)
+		}
+		sIn += len(ds.Samples)
 		rIn += rs
 		if merged == nil {
-			merged = r.ds
+			merged = ds
 			continue
 		}
-		u, err := engine.Union(engine.Config{MetaFirst: true}, merged, r.ds)
+		u, err := engine.Union(engine.Config{MetaFirst: true}, merged, ds)
 		if err != nil {
 			if mergeSp != nil {
 				mergeSp.SetAttr("error", "merge")
@@ -351,8 +360,14 @@ func (f *Federator) run(ctx context.Context, script, varName string, chunkSize i
 		}
 		merged = u
 	}
+	if dedup > 0 {
+		metricDedupSamples.Add(int64(dedup))
+	}
 	if mergeSp != nil {
 		mergeSp.SetInput(sIn, rIn)
+		if dedup > 0 {
+			mergeSp.SetAttr("dedup", strconv.Itoa(dedup))
+		}
 		if merged != nil {
 			rs := 0
 			for i := range merged.Samples {
@@ -381,13 +396,90 @@ func (f *Federator) run(ctx context.Context, script, varName string, chunkSize i
 		return nil, root, report, err
 	}
 	if successes < f.Policy.quorum() {
-		err := fmt.Errorf("federated query below quorum (%d/%d members answered): %w",
-			successes, len(f.Clients), report)
+		var err error
+		if replicated {
+			err = fmt.Errorf("federated query below quorum (%d/%d legs answered): %w",
+				successes, len(results), report)
+		} else {
+			err = fmt.Errorf("federated query below quorum (%d/%d members answered): %w",
+				successes, len(f.Clients), report)
+		}
 		finish(obs.StatusFailed, err)
 		return nil, root, report, err
 	}
 	finish(obs.StatusPartial, report)
 	return merged, root, report, nil
+}
+
+// runLegacy is the single-copy fan-out: one leg per member, no failover. A
+// member failure costs its samples (degraded mode per the Policy).
+func (f *Federator) runLegacy(ctx context.Context, script, varName string, chunkSize int, qid string, entry *obs.QueryEntry, root *obs.Span) []legResult {
+	traces := make([]*memberTrace, len(f.Clients))
+	for i := range f.Clients {
+		traces[i] = &memberTrace{entry: entry, idx: i}
+		if root != nil {
+			memberSp := obs.NewSpan("MEMBER")
+			memberSp.Detail = fmt.Sprintf("MEMBER %d %s", i+1, f.Clients[i].BaseURL)
+			memberSp.Mode = "fed"
+			root.AddChild(memberSp)
+			traces[i].span = memberSp
+			traces[i].ref = fmt.Sprintf("%s/member%d", qid, i+1)
+		}
+	}
+	results := make([]legResult, len(f.Clients))
+	var wg sync.WaitGroup
+	for i, c := range f.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			ds, fail := queryNode(ctx, c, script, varName, chunkSize, traces[i])
+			results[i] = legResult{ds: ds}
+			if fail != nil {
+				results[i].fails = []NodeFailure{*fail}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return results
+}
+
+// runReplicated fans out one leg per replica group, each with failover and
+// (optionally) hedging inside the group.
+func (f *Federator) runReplicated(ctx context.Context, script, varName string, chunkSize int, qid string, entry *obs.QueryEntry, root *obs.Span, groups []ReplicaGroup) []legResult {
+	legs := make([]*legTrace, len(groups))
+	for i, g := range groups {
+		legs[i] = &legTrace{entry: entry, qid: qid, group: g}
+		if root != nil {
+			legSp := obs.NewSpan("LEG")
+			legSp.Detail = fmt.Sprintf("LEG %s [%s] x%d", g.Key, strings.Join(g.Units, ","), len(g.Members))
+			legSp.Mode = "fed"
+			root.AddChild(legSp)
+			legs[i].legSp = legSp
+		}
+	}
+	results := make([]legResult, len(groups))
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started := time.Now()
+			results[i] = f.runLeg(ctx, script, varName, chunkSize, legs[i])
+			if legs[i].legSp != nil {
+				if results[i].ds != nil {
+					rs := 0
+					for _, s := range results[i].ds.Samples {
+						rs += len(s.Regions)
+					}
+					legs[i].legSp.SetOutput(len(results[i].ds.Samples), rs)
+				}
+				legs[i].legSp.SetAttr("attempts", strconv.Itoa(legs[i].attempts))
+				legs[i].legSp.Finish(started)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results
 }
 
 // QueryProfiled is Query with federated EXPLAIN ANALYZE: it returns the

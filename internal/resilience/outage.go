@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Outage is a deterministic member kill/restart injector for chaos tests: it
+// wraps an HTTP handler (a whole federation node) and simulates the process
+// dying and coming back. While down, every request — including responses
+// already in flight — is aborted at the connection level, exactly what a
+// client of a killed process observes (connection reset / unexpected EOF),
+// so the resilience stack classifies it as transient.
+//
+// Kills and restarts can fire immediately (Kill/Restart) or on deterministic
+// request-count fuses (KillAfter/RestartAfter), which lets a seeded chaos
+// campaign schedule "the 3rd request to this member kills it, the 2nd
+// request after that finds it restarted" without wall-clock races.
+//
+// All methods are safe for concurrent use.
+type Outage struct {
+	mu   sync.Mutex
+	down bool
+	// killFuse counts down on each begun request while up; reaching zero
+	// kills the member, and the triggering request is the first casualty
+	// (a mid-query kill from the requester's point of view). -1 is disarmed.
+	killFuse int
+	// restartFuse counts down on each begun request while down; reaching
+	// zero restarts the member and the triggering request is served — the
+	// retry that finds the process back. -1 is disarmed.
+	restartFuse int
+	// begun counts requests that reached the member, for test assertions.
+	begun int
+}
+
+// NewOutage returns an injector with the member up and both fuses disarmed.
+func NewOutage() *Outage {
+	return &Outage{killFuse: -1, restartFuse: -1}
+}
+
+// Kill takes the member down immediately. In-flight responses abort on
+// their next write.
+func (o *Outage) Kill() {
+	o.mu.Lock()
+	o.down = true
+	o.killFuse = -1
+	o.mu.Unlock()
+}
+
+// Restart brings the member back immediately.
+func (o *Outage) Restart() {
+	o.mu.Lock()
+	o.down = false
+	o.restartFuse = -1
+	o.mu.Unlock()
+}
+
+// KillAfter arms the kill fuse: the n-th future request to begin (1-based)
+// takes the member down and is itself aborted. n <= 0 disarms.
+func (o *Outage) KillAfter(n int) {
+	o.mu.Lock()
+	if n <= 0 {
+		o.killFuse = -1
+	} else {
+		o.killFuse = n
+	}
+	o.mu.Unlock()
+}
+
+// RestartAfter arms the restart fuse: the n-th request to arrive while the
+// member is down (1-based) restarts it and is served normally. n <= 0
+// disarms.
+func (o *Outage) RestartAfter(n int) {
+	o.mu.Lock()
+	if n <= 0 {
+		o.restartFuse = -1
+	} else {
+		o.restartFuse = n
+	}
+	o.mu.Unlock()
+}
+
+// Down reports whether the member is currently down.
+func (o *Outage) Down() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.down
+}
+
+// Begun reports how many requests have reached the member (served, killed,
+// or rejected), for test assertions on fuse schedules.
+func (o *Outage) Begun() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.begun
+}
+
+// begin applies the fuses to one arriving request and reports whether it may
+// be served.
+func (o *Outage) begin() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.begun++
+	if !o.down {
+		if o.killFuse > 0 {
+			o.killFuse--
+			if o.killFuse == 0 {
+				o.killFuse = -1
+				o.down = true
+				return false // the triggering request dies with the member
+			}
+		}
+		return true
+	}
+	if o.restartFuse > 0 {
+		o.restartFuse--
+		if o.restartFuse == 0 {
+			o.restartFuse = -1
+			o.down = false
+			return true // the triggering request finds the member back
+		}
+	}
+	return false
+}
+
+// Wrap returns h guarded by the outage: requests arriving while the member
+// is down (or that trip the kill fuse) abort their connection, and a kill
+// that lands mid-response aborts the response at its next write — the
+// half-written body a killed process leaves behind.
+func (o *Outage) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !o.begin() {
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(&outageWriter{ResponseWriter: w, o: o}, r)
+	})
+}
+
+// outageWriter aborts the response as soon as the member dies under it.
+type outageWriter struct {
+	http.ResponseWriter
+	o *Outage
+}
+
+func (w *outageWriter) Write(b []byte) (int, error) {
+	if w.o.Down() {
+		panic(http.ErrAbortHandler)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *outageWriter) WriteHeader(status int) {
+	if w.o.Down() {
+		panic(http.ErrAbortHandler)
+	}
+	w.ResponseWriter.WriteHeader(status)
+}

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func outageServer(t *testing.T, o *Outage) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(o.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) error {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func TestOutageKillRestart(t *testing.T) {
+	o := NewOutage()
+	ts := outageServer(t, o)
+
+	if err := get(t, ts.URL); err != nil {
+		t.Fatalf("healthy member: %v", err)
+	}
+	o.Kill()
+	if !o.Down() {
+		t.Fatal("Kill did not take the member down")
+	}
+	if err := get(t, ts.URL); err == nil {
+		t.Fatal("request to a killed member succeeded")
+	}
+	o.Restart()
+	if err := get(t, ts.URL); err != nil {
+		t.Fatalf("restarted member: %v", err)
+	}
+}
+
+func TestOutageKillFuse(t *testing.T) {
+	o := NewOutage()
+	ts := outageServer(t, o)
+
+	o.KillAfter(3)
+	for i := 0; i < 2; i++ {
+		if err := get(t, ts.URL); err != nil {
+			t.Fatalf("request %d before the fuse: %v", i+1, err)
+		}
+	}
+	// The third request trips the fuse: it dies with the member.
+	if err := get(t, ts.URL); err == nil {
+		t.Fatal("fuse-tripping request succeeded")
+	}
+	if !o.Down() {
+		t.Fatal("kill fuse did not take the member down")
+	}
+	if err := get(t, ts.URL); err == nil {
+		t.Fatal("request after the kill succeeded")
+	}
+
+	// Two rejected retries, then the third finds the member restarted.
+	o.RestartAfter(3)
+	for i := 0; i < 2; i++ {
+		if err := get(t, ts.URL); err == nil {
+			t.Fatalf("request %d while down succeeded", i+1)
+		}
+	}
+	if err := get(t, ts.URL); err != nil {
+		t.Fatalf("restart-fuse request: %v", err)
+	}
+	if o.Down() {
+		t.Fatal("restart fuse did not bring the member back")
+	}
+	if o.Begun() != 8 {
+		t.Fatalf("Begun = %d, want 8", o.Begun())
+	}
+}

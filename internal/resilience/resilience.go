@@ -20,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"time"
 )
 
 // StatusError reports an HTTP response that arrived intact but carried a
@@ -29,6 +30,10 @@ type StatusError struct {
 	Code   int
 	Status string
 	Body   string
+	// RetryAfter is the server's Retry-After hint on shed responses
+	// (429/503): how long it asked the caller to wait before trying again.
+	// Zero means the response carried no hint.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -37,6 +42,16 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("%s: %s", e.Status, e.Body)
 	}
 	return e.Status
+}
+
+// RetryAfterHint implements RetryAfterHinter.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// RetryAfterHinter is implemented by errors carrying a server-provided
+// backoff hint (HTTP Retry-After). The Retrier honors the hint, capped at
+// its MaxDelay, instead of its own backoff schedule for that attempt.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
 }
 
 // Retryable classifies an error as transient (worth retrying) or permanent.

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"time"
@@ -138,6 +139,16 @@ func (r *Retrier) jittered(d time.Duration) time.Duration {
 	return time.Duration(fixed + f*float64(d)*j)
 }
 
+// retryAfterHint extracts a server-provided backoff hint from an attempt's
+// error chain (zero when there is none).
+func retryAfterHint(err error) time.Duration {
+	var h RetryAfterHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0
+}
+
 func (r *Retrier) sleep(ctx context.Context, d time.Duration) error {
 	if r.Sleep != nil {
 		return r.Sleep(ctx, d)
@@ -191,7 +202,21 @@ func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) er
 		if r.Budget != nil && !r.Budget.Take() {
 			return err
 		}
-		if serr := r.sleep(ctx, r.jittered(r.Backoff(attempt))); serr != nil {
+		delay := r.jittered(r.Backoff(attempt))
+		if hint := retryAfterHint(err); hint > 0 {
+			// The server said when it wants to hear from us again (a shed
+			// response's Retry-After); its word beats our schedule, capped so
+			// a hostile or confused hint cannot park the caller forever.
+			cap := r.MaxDelay
+			if cap <= 0 {
+				cap = DefaultMaxDelay
+			}
+			if hint > cap {
+				hint = cap
+			}
+			delay = hint
+		}
+		if serr := r.sleep(ctx, delay); serr != nil {
 			return err
 		}
 	}

@@ -181,3 +181,70 @@ func TestRetryableClassification(t *testing.T) {
 		}
 	}
 }
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	var delays []time.Duration
+	r := &Retrier{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 2 * time.Second, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		switch calls {
+		case 1:
+			// A shed response with a hint: the server wants 700ms of quiet,
+			// far off the 10ms backoff schedule.
+			return &StatusError{Code: 429, Status: "429 Too Many Requests",
+				RetryAfter: 700 * time.Millisecond}
+		case 2:
+			// No hint: the normal backoff schedule resumes (2nd retry = 20ms).
+			return &StatusError{Code: 503, Status: "503 Service Unavailable"}
+		default:
+			return nil
+		}
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	want := []time.Duration{700 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("delays = %v, want %v", delays, want)
+	}
+}
+
+func TestDoCapsRetryAfterHint(t *testing.T) {
+	var delays []time.Duration
+	r := &Retrier{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 500 * time.Millisecond, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	_ = r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			// A hostile hint must not park the caller past MaxDelay.
+			return &StatusError{Code: 429, Status: "429 Too Many Requests",
+				RetryAfter: time.Hour}
+		}
+		return nil
+	})
+	if len(delays) != 1 || delays[0] != 500*time.Millisecond {
+		t.Errorf("delays = %v, want [500ms]", delays)
+	}
+}
+
+func TestDoHintThroughWrappedError(t *testing.T) {
+	var delays []time.Duration
+	r := &Retrier{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond, Sleep: sleepRecorder(&delays)}
+	calls := 0
+	_ = r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			// Clients wrap status errors with request context; the hint must
+			// survive the wrapping.
+			return fmt.Errorf("POST /query: %w",
+				&StatusError{Code: 503, Status: "503", RetryAfter: 200 * time.Millisecond})
+		}
+		return nil
+	})
+	if len(delays) != 1 || delays[0] != 200*time.Millisecond {
+		t.Errorf("delays = %v, want [200ms]", delays)
+	}
+}
